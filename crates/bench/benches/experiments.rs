@@ -1,0 +1,81 @@
+//! Criterion benches — one group per table/figure of the evaluation.
+//!
+//! Each bench measures the wall-clock cost of regenerating the experiment
+//! at quick scale (the `repro` binary runs the full-scale version); the
+//! measured quantity is the simulator itself, which is this repository's
+//! "hardware".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repro::{
+    ablate, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, table1, table2, table3, Harness,
+};
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(table1));
+    c.bench_function("table2", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            table2(&mut h)
+        })
+    });
+    c.bench_function("table3", |b| b.iter(table3));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig6", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig6(&mut h)
+        })
+    });
+    c.bench_function("fig7", |b| b.iter(fig7));
+    c.bench_function("fig10", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig10(&mut h)
+        })
+    });
+    c.bench_function("fig11", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig11(&mut h)
+        })
+    });
+    c.bench_function("fig12", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig12(&mut h)
+        })
+    });
+    c.bench_function("fig13", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig13(&mut h)
+        })
+    });
+    c.bench_function("fig14", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig14(&mut h)
+        })
+    });
+    c.bench_function("fig15", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            fig15(&mut h)
+        })
+    });
+    c.bench_function("ablate", |b| {
+        b.iter(|| {
+            let mut h = Harness::quick();
+            ablate(&mut h)
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_figures
+}
+criterion_main!(experiments);

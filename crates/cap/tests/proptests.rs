@@ -1,0 +1,159 @@
+//! Property-based tests pinning down the CHERI Concentrate codec and the
+//! capability operation invariants.
+
+use cheri_cap::bounds::{self, Bounds, BoundsField, TOP_MAX};
+use cheri_cap::{AccessWidth, CapMem, CapPipe, Perms};
+use proptest::prelude::*;
+
+/// Arbitrary (base, top) request with a bias towards interesting lengths.
+fn base_top() -> impl Strategy<Value = (u32, u64)> {
+    let power_biased = (any::<u32>(), 0u64..=33)
+        .prop_map(|(base, lsh)| {
+            let max_len = TOP_MAX - base as u64;
+            let len = ((1u64 << lsh) - 1).min(max_len);
+            (base, base as u64 + len)
+        })
+        .boxed();
+    let uniform = (any::<u32>(), any::<u32>())
+        .prop_map(|(a, b)| {
+            let (base, top) = if (a as u64) <= (b as u64) { (a, b as u64) } else { (b, a as u64) };
+            (base, top)
+        })
+        .boxed();
+    power_biased.prop_union(uniform)
+}
+
+proptest! {
+    /// encode is sound: the decoded bounds contain the request.
+    #[test]
+    fn encode_contains_request((base, top) in base_top()) {
+        let enc = bounds::encode(base, top);
+        prop_assert!(enc.bounds.base as u64 <= base as u64);
+        prop_assert!(enc.bounds.top >= top);
+        prop_assert!(enc.bounds.top <= TOP_MAX);
+        // exactness flag is truthful
+        prop_assert_eq!(enc.exact, enc.bounds == Bounds { base, top });
+    }
+
+    /// The encoded field decodes to the same bounds at any representable
+    /// address (round-trip through the 15-bit format).
+    #[test]
+    fn encode_decode_roundtrip((base, top) in base_top()) {
+        let enc = bounds::encode(base, top);
+        let b = bounds::decode(enc.field, base);
+        prop_assert_eq!(b, enc.bounds);
+        // Also from an in-bounds address.
+        let mid = ((enc.bounds.base as u64 + enc.bounds.top) / 2) as u32;
+        let b2 = bounds::decode(enc.field, mid);
+        prop_assert_eq!(b2, enc.bounds);
+    }
+
+    /// Rounding never expands by more than one alignment granule on each
+    /// side (base rounded down, top rounded up to 2^(E+3)).
+    #[test]
+    fn rounding_is_bounded((base, top) in base_top()) {
+        let enc = bounds::encode(base, top);
+        let len = top - base as u64;
+        let m = bounds::decode_mantissa(enc.field);
+        let granule = if enc.field.ie() { 1u64 << (m.e + 3) } else { 1 };
+        prop_assert!(enc.bounds.length() - len < 2 * granule);
+        prop_assert!(base as u64 - enc.bounds.base as u64 == 0 || enc.field.ie());
+    }
+
+    /// CRRL/CRAM agree: an aligned base + rounded length is always exact.
+    #[test]
+    fn crrl_cram_exact(len in any::<u32>(), baseword in any::<u32>()) {
+        let rl = bounds::representable_length(len);
+        let mask = bounds::representable_alignment_mask(len);
+        let base = baseword & mask;
+        if base as u64 + rl <= TOP_MAX {
+            let enc = bounds::encode(base, base as u64 + rl);
+            prop_assert!(enc.exact, "len={} rl={} mask={:#x} base={:#x}", len, rl, mask, base);
+        }
+    }
+
+    /// Any 15-bit pattern decodes to *some* bounds with top <= 2^33 and the
+    /// decode is a pure function of (field, addr) — no panics on junk.
+    #[test]
+    fn decode_total(raw in 0u16..(1 << 15), addr in any::<u32>()) {
+        let b = bounds::decode(BoundsField(raw), addr);
+        prop_assert!(b.top < (1u64 << 33));
+    }
+
+    /// Representability: staying inside the decoded bounds is always
+    /// representable (bounds are stable across in-bounds address moves).
+    #[test]
+    fn in_bounds_moves_are_representable((base, top) in base_top(), off in any::<u32>()) {
+        let enc = bounds::encode(base, top);
+        let len = enc.bounds.length();
+        if len > 0 {
+            let addr = enc.bounds.base.wrapping_add((off as u64 % len) as u32);
+            prop_assert!(
+                bounds::is_representable(enc.field, base, addr),
+                "base={:#x} top={:#x} addr={:#x}", base, top, addr
+            );
+        }
+    }
+
+    /// CapMem <-> CapPipe round-trips for arbitrary bit patterns.
+    #[test]
+    fn mem_pipe_roundtrip(bits in any::<u64>(), tag in any::<bool>()) {
+        let m = CapMem::from_bits(bits, tag);
+        let p = CapPipe::from_mem(m);
+        prop_assert_eq!(p.to_mem(), m);
+    }
+
+    /// Monotonicity: any chain of derivations never widens rights.
+    #[test]
+    fn derivation_is_monotone(
+        addr in any::<u32>(),
+        len in 0u32..=1 << 20,
+        addr2_off in any::<u32>(),
+        len2 in 0u32..=1 << 20,
+        perm_mask in 0u16..(1 << 12),
+    ) {
+        let root = CapPipe::almighty();
+        let (c1, _) = root.set_addr(addr).set_bounds(len);
+        if c1.tag() && c1.length() > 0 {
+            let a2 = c1.base().wrapping_add(addr2_off % c1.length() as u32);
+            let (c2, _) = c1.set_addr(a2).set_bounds(len2);
+            let c2 = c2.and_perm(Perms::from_bits(perm_mask));
+            if c2.tag() {
+                prop_assert!(c2.base() >= c1.base());
+                prop_assert!(c2.top() <= c1.top());
+                prop_assert!(c1.perms().contains(c2.perms()));
+            }
+        }
+    }
+
+    /// An access that check_access admits is always within the decoded
+    /// bounds; one that's out of bounds is always refused.
+    #[test]
+    fn check_access_agrees_with_bounds(
+        addr in any::<u32>(),
+        len in 1u32..=1 << 16,
+        probe in any::<u32>(),
+        w in prop::sample::select(vec![1u32, 2, 4]),
+    ) {
+        let (c, _) = CapPipe::almighty().set_addr(addr).set_bounds(len);
+        if c.tag() {
+            let ok = c.check_access(probe, AccessWidth::from_bytes(w), false, false).is_ok();
+            let inside = probe as u64 >= c.base() as u64
+                && probe as u64 + w as u64 <= c.top();
+            prop_assert_eq!(ok, inside);
+        }
+    }
+
+    /// set_bounds_exact only keeps the tag when the request was exact.
+    #[test]
+    fn set_bounds_exact_is_exact(addr in any::<u32>(), len in 0u32..=1 << 24) {
+        let c = CapPipe::almighty().set_addr(addr);
+        let e = c.set_bounds_exact(len);
+        let (r, exact) = c.set_bounds(len);
+        prop_assert_eq!(e.tag(), r.tag() && exact);
+        if e.tag() {
+            prop_assert_eq!(e.base(), addr);
+            prop_assert_eq!(e.top(), addr as u64 + len as u64);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Performance counters collected during a kernel run.
+//!
+//! These are the model's equivalent of SIMTight's hardware performance
+//! counters, sized to regenerate Figures 6, 10, 11, 12 and 13.
+
+use simt_mem::{DramStats, ScratchStats, TagCacheStats};
+use simt_regfile::RfStats;
+use std::collections::BTreeMap;
+
+/// Pipeline stall cycles by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Extra operand-fetch cycles for `CSC` (single-read-port metadata SRF).
+    pub csc_serialisation: u64,
+    /// Serialised data+metadata reads against the shared VRF.
+    pub shared_vrf_conflict: u64,
+    /// Register spill/fill handling cycles.
+    pub spill_fill: u64,
+    /// Second flits of capability-wide accesses (`CLC`/`CSC`).
+    pub cap_multi_flit: u64,
+    /// Cycles with no warp ready to issue (memory/SFU latency not hidden).
+    pub idle: u64,
+}
+
+impl StallBreakdown {
+    /// All stall cycles attributable to CHERI mechanisms.
+    pub fn cheri_stalls(&self) -> u64 {
+        self.csc_serialisation + self.shared_vrf_conflict + self.cap_multi_flit
+    }
+}
+
+/// Statistics of one kernel run.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Total cycles from launch to the last warp's termination.
+    pub cycles: u64,
+    /// Warp-instructions issued.
+    pub instrs: u64,
+    /// Thread-instructions executed (warp-instructions × active lanes).
+    pub thread_instrs: u64,
+    /// Executed CHERI instructions by mnemonic (Figure 6). Standard
+    /// encodings executed in capability mode count under their CHERI name
+    /// (`lw` → `CLW`, `jal` → `CJAL`, ...).
+    pub cheri_histogram: BTreeMap<&'static str, u64>,
+    /// Stall cycles by cause.
+    pub stalls: StallBreakdown,
+    /// DRAM traffic.
+    pub dram: DramStats,
+    /// Tag-cache behaviour.
+    pub tag_cache: TagCacheStats,
+    /// Scratchpad behaviour.
+    pub scratch: ScratchStats,
+    /// Data register file statistics.
+    pub data_rf: RfStats,
+    /// Metadata register file statistics (zeroed when CHERI is off).
+    pub meta_rf: RfStats,
+    /// Time-averaged number of data vectors resident in the VRF.
+    pub avg_data_vrf_resident: f64,
+    /// Time-averaged number of metadata vectors resident in the VRF.
+    pub avg_meta_vrf_resident: f64,
+    /// Peak data vectors resident in the VRF.
+    pub peak_data_vrf_resident: u32,
+    /// Peak metadata vectors resident in the VRF.
+    pub peak_meta_vrf_resident: u32,
+    /// Max architectural registers per thread that ever held a capability
+    /// (Figure 11).
+    pub cap_regs_used: u32,
+    /// Union bitmask of registers that ever held a capability (bit r =
+    /// register r) — verifies the §4.3 capability-register-limit forecast.
+    pub cap_regs_mask: u32,
+    /// SFU requests served (FP div/sqrt and, when offloaded, cap ops).
+    pub sfu_requests: u64,
+    /// Warp-level barrier waits.
+    pub barriers: u64,
+    /// Warp accesses absorbed by the compressed stack cache (zero unless
+    /// the Section-4.4 proof-of-concept feature is enabled).
+    pub stack_cache_hits: u64,
+}
+
+impl KernelStats {
+    /// Total executed CHERI instructions.
+    pub fn cheri_instrs(&self) -> u64 {
+        self.cheri_histogram.values().sum()
+    }
+
+    /// Fraction of executed instructions that were CHERI instructions.
+    pub fn cheri_fraction(&self) -> f64 {
+        if self.instrs == 0 {
+            0.0
+        } else {
+            self.cheri_instrs() as f64 / self.instrs as f64
+        }
+    }
+
+    /// Instructions per cycle (warp-instruction throughput).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// DRAM bytes moved per cycle (Figure 12's bandwidth usage).
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram.total_bytes() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Record one executed CHERI op.
+    pub(crate) fn count_cheri(&mut self, mnemonic: &'static str, n: u64) {
+        *self.cheri_histogram.entry(mnemonic).or_insert(0) += n;
+    }
+
+    /// Accumulate another run's statistics (for multi-launch benchmarks
+    /// such as the global bitonic sorter's phase kernels). Cycle-weighted
+    /// averages are re-derived; peaks take the maximum.
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        let w_old = self.cycles as f64;
+        let w_new = other.cycles as f64;
+        let total = (w_old + w_new).max(1.0);
+        self.avg_data_vrf_resident =
+            (self.avg_data_vrf_resident * w_old + other.avg_data_vrf_resident * w_new) / total;
+        self.avg_meta_vrf_resident =
+            (self.avg_meta_vrf_resident * w_old + other.avg_meta_vrf_resident * w_new) / total;
+        self.cycles += other.cycles;
+        self.instrs += other.instrs;
+        self.thread_instrs += other.thread_instrs;
+        for (k, v) in &other.cheri_histogram {
+            *self.cheri_histogram.entry(k).or_insert(0) += v;
+        }
+        self.stalls.csc_serialisation += other.stalls.csc_serialisation;
+        self.stalls.shared_vrf_conflict += other.stalls.shared_vrf_conflict;
+        self.stalls.spill_fill += other.stalls.spill_fill;
+        self.stalls.cap_multi_flit += other.stalls.cap_multi_flit;
+        self.stalls.idle += other.stalls.idle;
+        self.dram.read_transactions += other.dram.read_transactions;
+        self.dram.write_transactions += other.dram.write_transactions;
+        self.dram.tag_transactions += other.dram.tag_transactions;
+        self.dram.busy_cycles += other.dram.busy_cycles;
+        self.tag_cache.hits += other.tag_cache.hits;
+        self.tag_cache.misses += other.tag_cache.misses;
+        self.tag_cache.writebacks += other.tag_cache.writebacks;
+        self.scratch.accesses += other.scratch.accesses;
+        self.scratch.conflict_cycles += other.scratch.conflict_cycles;
+        self.data_rf.spills += other.data_rf.spills;
+        self.data_rf.fills += other.data_rf.fills;
+        self.data_rf.scalar_writes += other.data_rf.scalar_writes;
+        self.data_rf.vector_writes += other.data_rf.vector_writes;
+        self.data_rf.peak_resident = self.data_rf.peak_resident.max(other.data_rf.peak_resident);
+        self.meta_rf.spills += other.meta_rf.spills;
+        self.meta_rf.fills += other.meta_rf.fills;
+        self.meta_rf.scalar_writes += other.meta_rf.scalar_writes;
+        self.meta_rf.vector_writes += other.meta_rf.vector_writes;
+        self.meta_rf.peak_resident = self.meta_rf.peak_resident.max(other.meta_rf.peak_resident);
+        self.peak_data_vrf_resident =
+            self.peak_data_vrf_resident.max(other.peak_data_vrf_resident);
+        self.peak_meta_vrf_resident =
+            self.peak_meta_vrf_resident.max(other.peak_meta_vrf_resident);
+        self.cap_regs_used = self.cap_regs_used.max(other.cap_regs_used);
+        self.cap_regs_mask |= other.cap_regs_mask;
+        self.sfu_requests += other.sfu_requests;
+        self.barriers += other.barriers;
+        self.stack_cache_hits += other.stack_cache_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = KernelStats { cycles: 1000, instrs: 800, ..KernelStats::default() };
+        s.count_cheri("CLW", 60);
+        s.count_cheri("CIncOffsetImm", 20);
+        assert_eq!(s.cheri_instrs(), 80);
+        assert!((s.cheri_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.ipc() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Traps and run failures.
+
+use cheri_cap::CapException;
+use core::fmt;
+use simt_mem::MemFault;
+
+/// Why a thread trapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A CHERI check failed (the whole point of the exercise).
+    Cheri(CapException),
+    /// The memory subsystem faulted (unmapped/misaligned).
+    Mem(MemFault),
+    /// An undecodable or unsupported instruction was fetched.
+    IllegalInstr(u32),
+    /// `ecall`/`ebreak` executed (unsupported in kernels).
+    Environment,
+    /// Instruction fetch left the program.
+    FetchOutOfRange(u32),
+    /// A GPUShield bounds-table check failed (comparator mode only).
+    RegionBound(u32),
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCause::Cheri(e) => write!(f, "CHERI fault: {e}"),
+            TrapCause::Mem(e) => write!(f, "memory fault: {e}"),
+            TrapCause::IllegalInstr(w) => write!(f, "illegal instruction {w:#010x}"),
+            TrapCause::Environment => write!(f, "environment call"),
+            TrapCause::FetchOutOfRange(pc) => write!(f, "fetch out of range at {pc:#010x}"),
+            TrapCause::RegionBound(a) => write!(f, "bounds-table violation at {a:#010x}"),
+        }
+    }
+}
+
+/// A trap, attributed to the first faulting thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trap {
+    /// Faulting warp.
+    pub warp: u32,
+    /// Faulting lane within the warp.
+    pub lane: u32,
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// Cause.
+    pub cause: TrapCause,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap in warp {} lane {} at pc {:#010x}: {}", self.warp, self.lane, self.pc, self.cause)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Failure modes of a kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A thread trapped.
+    Trap(Trap),
+    /// The watchdog expired (likely a deadlock or runaway kernel).
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Trap(t) => t.fmt(f),
+            RunError::Timeout { cycles } => write!(f, "watchdog timeout after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Trap> for RunError {
+    fn from(t: Trap) -> Self {
+        RunError::Trap(t)
+    }
+}

@@ -1,0 +1,174 @@
+//! Warp state and active-thread selection.
+//!
+//! Each thread has its own program counter (and, under CHERI, its own PCC
+//! metadata). The Active Thread Selection stage picks the subset of threads
+//! that execute together: those sharing the minimum PC (a convergence-optimal
+//! policy for the structured code our compiler emits, standing in for
+//! SIMTight's nesting-level scheme) — and, under CHERI without the static-PC-
+//! metadata restriction, sharing the same PCC metadata as well.
+
+/// Per-thread execution status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Runnable.
+    Active,
+    /// Waiting at a block barrier.
+    AtBarrier,
+    /// Finished the kernel.
+    Terminated,
+}
+
+/// State of one warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Per-thread program counters.
+    pub pc: Vec<u32>,
+    /// Per-thread PCC metadata (33-bit: tag in bit 32). Length 1 when the
+    /// static-PC-metadata restriction is enabled.
+    pub pcc_meta: Vec<u64>,
+    /// Per-thread status.
+    pub status: Vec<ThreadStatus>,
+    /// Cycle at which this warp may issue again.
+    pub ready_at: u64,
+}
+
+/// The outcome of active-thread selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Lane mask of the selected threads.
+    pub mask: u64,
+    /// Their common PC.
+    pub pc: u32,
+    /// Their common PCC metadata.
+    pub pcc_meta: u64,
+}
+
+impl Warp {
+    /// A warp of `lanes` threads, all starting at `pc` with the given PCC
+    /// metadata (`static_pcc` collapses the metadata to one copy).
+    pub fn new(lanes: u32, pc: u32, pcc_meta: u64, static_pcc: bool) -> Self {
+        Warp {
+            pc: vec![pc; lanes as usize],
+            pcc_meta: vec![pcc_meta; if static_pcc { 1 } else { lanes as usize }],
+            status: vec![ThreadStatus::Active; lanes as usize],
+            ready_at: 0,
+        }
+    }
+
+    /// Is every thread terminated?
+    pub fn done(&self) -> bool {
+        self.status.iter().all(|&s| s == ThreadStatus::Terminated)
+    }
+
+    /// Is the warp blocked on a barrier (no runnable thread, at least one
+    /// waiting)?
+    pub fn blocked_at_barrier(&self) -> bool {
+        !self.done() && self.status.iter().all(|&s| s != ThreadStatus::Active)
+    }
+
+    /// The PCC metadata of thread `lane`.
+    #[inline]
+    pub fn pcc_meta_of(&self, lane: usize) -> u64 {
+        if self.pcc_meta.len() == 1 {
+            self.pcc_meta[0]
+        } else {
+            self.pcc_meta[lane]
+        }
+    }
+
+    /// Set the PCC metadata of thread `lane` (a no-op redundancy under the
+    /// static restriction, where all threads share one copy).
+    pub fn set_pcc_meta(&mut self, lane: usize, meta: u64) {
+        if self.pcc_meta.len() == 1 {
+            self.pcc_meta[0] = meta;
+        } else {
+            self.pcc_meta[lane] = meta;
+        }
+    }
+
+    /// Active-thread selection: the runnable threads at the minimum PC whose
+    /// PCC metadata matches the first such thread's (metadata comparison is
+    /// skipped under the static-PC-metadata restriction, letting the
+    /// hardware drop `lanes × 33` comparators).
+    pub fn select(&self) -> Option<Selection> {
+        let mut min_pc = u32::MAX;
+        for (i, &s) in self.status.iter().enumerate() {
+            if s == ThreadStatus::Active && self.pc[i] < min_pc {
+                min_pc = self.pc[i];
+            }
+        }
+        if min_pc == u32::MAX {
+            return None;
+        }
+        let static_pcc = self.pcc_meta.len() == 1;
+        let mut leader_meta = None;
+        let mut mask = 0u64;
+        for i in 0..self.pc.len() {
+            if self.status[i] != ThreadStatus::Active || self.pc[i] != min_pc {
+                continue;
+            }
+            let meta = self.pcc_meta_of(i);
+            match leader_meta {
+                None => {
+                    leader_meta = Some(meta);
+                    mask |= 1 << i;
+                }
+                Some(m) if static_pcc || m == meta => mask |= 1 << i,
+                Some(_) => {} // differing PCC metadata: defer to a later issue
+            }
+        }
+        Some(Selection { mask, pc: min_pc, pcc_meta: leader_meta.unwrap() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_pc_selection_reconverges() {
+        let mut w = Warp::new(4, 0x100, 0, true);
+        // Two threads took a forward branch to 0x120, two fell through.
+        w.pc[1] = 0x120;
+        w.pc[3] = 0x120;
+        let s = w.select().unwrap();
+        assert_eq!(s.pc, 0x100);
+        assert_eq!(s.mask, 0b0101);
+        // After the laggards advance to the join point, all reconverge.
+        w.pc[0] = 0x120;
+        w.pc[2] = 0x120;
+        let s = w.select().unwrap();
+        assert_eq!(s.mask, 0b1111);
+    }
+
+    #[test]
+    fn pcc_metadata_divergence_splits_selection() {
+        let mut w = Warp::new(4, 0x100, 7, false);
+        w.set_pcc_meta(2, 9);
+        let s = w.select().unwrap();
+        assert_eq!(s.mask, 0b1011, "thread 2 has different PCC metadata");
+        assert_eq!(s.pcc_meta, 7);
+    }
+
+    #[test]
+    fn static_pcc_ignores_metadata() {
+        let mut w = Warp::new(4, 0x100, 7, true);
+        w.set_pcc_meta(2, 9); // updates the single shared copy
+        let s = w.select().unwrap();
+        assert_eq!(s.mask, 0b1111);
+    }
+
+    #[test]
+    fn barrier_and_termination() {
+        let mut w = Warp::new(2, 0, 0, true);
+        w.status[0] = ThreadStatus::AtBarrier;
+        assert!(!w.blocked_at_barrier());
+        let s = w.select().unwrap();
+        assert_eq!(s.mask, 0b10);
+        w.status[1] = ThreadStatus::Terminated;
+        assert!(w.blocked_at_barrier());
+        assert!(w.select().is_none());
+        w.status[0] = ThreadStatus::Terminated;
+        assert!(w.done());
+    }
+}

@@ -1,0 +1,420 @@
+//! Integration tests for the SM: hand-assembled kernels exercising
+//! divergence, barriers, atomics, scratchpad, and the CHERI protection
+//! machinery.
+
+use cheri_cap::{CapException, CapPipe, Perms};
+use cheri_simt::{CheriMode, CheriOpts, RunError, Sm, SmConfig, TrapCause};
+use simt_isa::asm::Assembler;
+use simt_isa::{csr, scr, AluOp, AmoOp, BranchCond, Instr, LoadWidth, Reg, StoreWidth, UnaryCapOp};
+use simt_mem::map;
+
+const MAX: u64 = 2_000_000;
+
+fn run_sm(cfg: SmConfig, prog: Vec<u32>) -> (Sm, Result<cheri_simt::KernelStats, RunError>) {
+    let mut sm = Sm::new(cfg);
+    sm.load_program(&prog);
+    sm.reset();
+    let r = sm.run(MAX);
+    (sm, r)
+}
+
+/// Mint a data capability over `[base, base+len)`.
+fn data_cap(base: u32, len: u32) -> CapPipe {
+    let (c, exact) = CapPipe::almighty().and_perm(Perms::data()).set_addr(base).set_bounds(len);
+    assert!(exact && c.tag());
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Baseline behaviour
+// ---------------------------------------------------------------------------
+
+#[test]
+fn divergent_if_else_reconverges() {
+    // Even threads add 10, odd threads add 20; all store tid+delta.
+    let mut a = Assembler::new();
+    a.push(Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO });
+    a.push(Instr::OpImm { op: AluOp::And, rd: Reg::A1, rs1: Reg::A0, imm: 1 });
+    let odd = a.label();
+    let join = a.label();
+    a.bnez(Reg::A1, odd);
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A0, imm: 10 });
+    a.jump(join);
+    a.bind(odd);
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A0, imm: 20 });
+    a.bind(join);
+    a.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::A3, rs1: Reg::A0, imm: 2 });
+    a.li(Reg::A4, map::DRAM_BASE);
+    a.push(Instr::Op { op: AluOp::Add, rd: Reg::A3, rs1: Reg::A3, rs2: Reg::A4 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A3, off: 0 });
+    a.terminate();
+
+    let (sm, r) = run_sm(SmConfig::small(CheriMode::Off), a.assemble());
+    r.unwrap();
+    for t in 0..64u32 {
+        let want = t + if t % 2 == 1 { 20 } else { 10 };
+        assert_eq!(sm.memory().read(map::DRAM_BASE + t * 4, 4).unwrap(), want, "thread {t}");
+    }
+}
+
+#[test]
+fn loop_with_divergent_trip_counts() {
+    // Each thread sums 1..=tid%4 by looping; result = tid%4*(tid%4+1)/2.
+    let mut a = Assembler::new();
+    a.push(Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO });
+    a.push(Instr::OpImm { op: AluOp::And, rd: Reg::A1, rs1: Reg::A0, imm: 3 });
+    a.push(Instr::Op { op: AluOp::Add, rd: Reg::A2, rs1: Reg::ZERO, rs2: Reg::ZERO });
+    let done = a.label();
+    let top = a.here();
+    a.beqz(Reg::A1, done);
+    a.push(Instr::Op { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A2, rs2: Reg::A1 });
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A1, rs1: Reg::A1, imm: -1 });
+    a.jump(top);
+    a.bind(done);
+    a.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::A3, rs1: Reg::A0, imm: 2 });
+    a.li(Reg::A4, map::DRAM_BASE);
+    a.push(Instr::Op { op: AluOp::Add, rd: Reg::A3, rs1: Reg::A3, rs2: Reg::A4 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A3, off: 0 });
+    a.terminate();
+
+    let (sm, r) = run_sm(SmConfig::small(CheriMode::Off), a.assemble());
+    r.unwrap();
+    for t in 0..64u32 {
+        let n = t % 4;
+        assert_eq!(sm.memory().read(map::DRAM_BASE + t * 4, 4).unwrap(), n * (n + 1) / 2);
+    }
+}
+
+#[test]
+fn atomic_histogram_in_dram() {
+    // All threads atomically increment one counter.
+    let mut a = Assembler::new();
+    a.li(Reg::A0, map::DRAM_BASE + 0x100);
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A1, rs1: Reg::ZERO, imm: 1 });
+    a.push(Instr::Amo { op: AmoOp::Add, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 });
+    a.terminate();
+    let cfg = SmConfig::small(CheriMode::Off);
+    let threads = cfg.threads();
+    let (sm, r) = run_sm(cfg, a.assemble());
+    r.unwrap();
+    assert_eq!(sm.memory().read(map::DRAM_BASE + 0x100, 4).unwrap(), threads);
+}
+
+#[test]
+fn barrier_synchronises_scratchpad() {
+    // Thread 0 of each "block" (= whole SM here) writes a flag before the
+    // barrier; all threads read it after and store it.
+    let mut a = Assembler::new();
+    a.push(Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO });
+    let skip = a.label();
+    a.bnez(Reg::A0, skip);
+    a.li(Reg::A1, map::SCRATCH_BASE);
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::ZERO, imm: 77 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A1, off: 0 });
+    a.bind(skip);
+    a.barrier();
+    a.li(Reg::A1, map::SCRATCH_BASE);
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A1, off: 0 });
+    a.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::A4, rs1: Reg::A0, imm: 2 });
+    a.li(Reg::A5, map::DRAM_BASE);
+    a.push(Instr::Op { op: AluOp::Add, rd: Reg::A4, rs1: Reg::A4, rs2: Reg::A5 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A3, rs1: Reg::A4, off: 0 });
+    a.terminate();
+
+    let mut sm = Sm::new(SmConfig::small(CheriMode::Off));
+    sm.load_program(&a.assemble());
+    sm.set_block_warps(8); // all 8 warps form one block
+    sm.reset();
+    let stats = sm.run(MAX).unwrap();
+    assert!(stats.barriers > 0);
+    for t in 0..64u32 {
+        assert_eq!(sm.memory().read(map::DRAM_BASE + t * 4, 4).unwrap(), 77, "thread {t}");
+    }
+}
+
+#[test]
+fn unmapped_access_faults() {
+    let mut a = Assembler::new();
+    a.li(Reg::A0, 0x0000_1000); // not TCIM, not scratch, not DRAM
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A1, rs1: Reg::A0, off: 0 });
+    a.terminate();
+    let (_, r) = run_sm(SmConfig::small(CheriMode::Off), a.assemble());
+    match r {
+        Err(RunError::Trap(t)) => assert!(matches!(t.cause, TrapCause::Mem(_))),
+        other => panic!("expected memory trap, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CHERI behaviour
+// ---------------------------------------------------------------------------
+
+fn cheri_cfg() -> SmConfig {
+    SmConfig::small(CheriMode::On(CheriOpts::optimised()))
+}
+
+/// Kernel storing each thread's id through a bounded capability from SCR.
+fn purecap_store_ids() -> Vec<u32> {
+    let mut a = Assembler::new();
+    a.push(Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO });
+    a.push(Instr::CSpecialRw { cd: Reg::A1, cs1: Reg::ZERO, scr: scr::ARG });
+    a.push(Instr::OpImm { op: AluOp::Sll, rd: Reg::A2, rs1: Reg::A0, imm: 2 });
+    a.push(Instr::CIncOffset { cd: Reg::A3, cs1: Reg::A1, rs2: Reg::A2 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A0, rs1: Reg::A3, off: 0 });
+    a.terminate();
+    a.assemble()
+}
+
+#[test]
+fn purecap_bounded_stores_succeed() {
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&purecap_store_ids());
+    let buf = data_cap(map::DRAM_BASE, 64 * 4);
+    sm.set_scr(scr::ARG, buf.to_mem());
+    sm.reset();
+    let stats = sm.run(MAX).unwrap();
+    for t in 0..64u32 {
+        assert_eq!(sm.memory().read(map::DRAM_BASE + t * 4, 4).unwrap(), t);
+    }
+    // The histogram saw capability stores and pointer arithmetic.
+    assert!(stats.cheri_histogram["CSW"] > 0);
+    assert!(stats.cheri_histogram["CIncOffset"] > 0);
+    assert!(stats.cheri_histogram["CSpecialRW"] > 0);
+    assert!(stats.cheri_fraction() > 0.0);
+}
+
+#[test]
+fn purecap_out_of_bounds_store_traps() {
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&purecap_store_ids());
+    // Bounds cover only half the threads: thread 32's store must trap.
+    let buf = data_cap(map::DRAM_BASE, 32 * 4);
+    sm.set_scr(scr::ARG, buf.to_mem());
+    sm.reset();
+    match sm.run(MAX) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(CapException::BoundsViolation));
+        }
+        other => panic!("expected bounds violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn untagged_capability_dereference_traps() {
+    // SCR left null: the very first store trips a tag violation.
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&purecap_store_ids());
+    sm.reset();
+    match sm.run(MAX) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(CapException::TagViolation));
+        }
+        other => panic!("expected tag violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure1_overread_demo() {
+    // The paper's Figure 1: ptr points to `data`, ptr[1] reads `secret`.
+    // Both variables live on the (emulated) stack; the baseline leaks the
+    // secret, CHERI with a bounded stack-slot capability traps.
+    const DATA: u32 = map::DRAM_BASE + 0x40;
+    const SECRET_VAL: u32 = 0xC0DE;
+
+    // Baseline: plain pointer arithmetic reads the neighbouring variable.
+    let mut a = Assembler::new();
+    a.li(Reg::A0, DATA);
+    a.li(Reg::A1, 0xDA1A);
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A1, rs1: Reg::A0, off: 0 });
+    a.li(Reg::A2, SECRET_VAL as u32);
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, off: 4 });
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A0, off: 4 }); // ptr[1]
+    a.li(Reg::A4, map::DRAM_BASE);
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A3, rs1: Reg::A4, off: 0 });
+    a.terminate();
+    let (sm, r) = run_sm(SmConfig::small(CheriMode::Off), a.assemble());
+    r.unwrap();
+    assert_eq!(sm.memory().read(map::DRAM_BASE, 4).unwrap(), SECRET_VAL, "baseline leaks");
+
+    // CHERI: the same access through a 4-byte capability for `data`.
+    let mut a = Assembler::new();
+    a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::ARG });
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A0, off: 4 }); // ptr[1]
+    a.terminate();
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&a.assemble());
+    sm.memory_mut().write(DATA + 4, SECRET_VAL, 4).unwrap();
+    sm.set_scr(scr::ARG, data_cap(DATA, 4).to_mem());
+    sm.reset();
+    match sm.run(MAX) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(CapException::BoundsViolation));
+        }
+        other => panic!("CHERI must trap the overread, got {other:?}"),
+    }
+}
+
+#[test]
+fn clc_csc_roundtrip_preserves_tags_and_forgery_fails() {
+    // Store a derived capability to memory with CSC, load it back with CLC,
+    // then dereference it. Also verify CGetTag sees the tag.
+    let mut a = Assembler::new();
+    a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::ARG });
+    // Spill the capability to the second half of the buffer and reload.
+    a.push(Instr::Csc { cs2: Reg::A0, cs1: Reg::A0, off: 8 });
+    a.push(Instr::Clc { cd: Reg::A1, cs1: Reg::A0, off: 8 });
+    a.push(Instr::CapUnary { op: UnaryCapOp::GetTag, rd: Reg::A2, cs1: Reg::A1 });
+    // Dereference the reloaded capability.
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A1, off: 0 });
+    // Store the observed tag for the host.
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, off: 4 });
+    a.terminate();
+
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&a.assemble());
+    sm.set_scr(scr::ARG, data_cap(map::DRAM_BASE, 16).to_mem());
+    sm.reset();
+    let stats = sm.run(MAX).unwrap();
+    assert_eq!(sm.memory().read(map::DRAM_BASE + 4, 4).unwrap(), 1, "tag observed");
+    assert!(stats.cheri_histogram["CSC"] >= 1);
+    assert!(stats.cheri_histogram["CLC"] >= 1);
+    // The CSC port penalty was charged in the optimised configuration.
+    assert!(stats.stalls.csc_serialisation >= 1);
+
+    // Forgery: overwrite one word of the stored capability with data, then
+    // dereferencing the reloaded value must trap.
+    let mut a = Assembler::new();
+    a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::ARG });
+    a.push(Instr::Csc { cs2: Reg::A0, cs1: Reg::A0, off: 8 });
+    a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A4, rs1: Reg::ZERO, imm: 42 });
+    a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A4, rs1: Reg::A0, off: 8 });
+    a.push(Instr::Clc { cd: Reg::A1, cs1: Reg::A0, off: 8 });
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A1, off: 0 });
+    a.terminate();
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&a.assemble());
+    sm.set_scr(scr::ARG, data_cap(map::DRAM_BASE, 16).to_mem());
+    sm.reset();
+    match sm.run(MAX) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(CapException::TagViolation));
+        }
+        other => panic!("forged capability must not be dereferenceable: {other:?}"),
+    }
+}
+
+#[test]
+fn csetbounds_in_kernel_narrows() {
+    // Derive a narrower capability in-kernel and overflow it.
+    let mut a = Assembler::new();
+    a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::ARG });
+    a.push(Instr::CSetBoundsImm { cd: Reg::A1, cs1: Reg::A0, imm: 8 });
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A2, rs1: Reg::A1, off: 0 }); // ok
+    a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A2, rs1: Reg::A1, off: 8 }); // trap
+    a.terminate();
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&a.assemble());
+    sm.set_scr(scr::ARG, data_cap(map::DRAM_BASE, 64).to_mem());
+    sm.reset();
+    match sm.run(MAX) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(CapException::BoundsViolation));
+        }
+        other => panic!("expected bounds violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn uniform_metadata_stays_out_of_vrf() {
+    // All threads use the same argument capability: with the compressed
+    // metadata RF + NVO, the metadata register file should keep everything
+    // scalar (peak metadata VRF residency 0) — the paper's key result.
+    let mut sm = Sm::new(cheri_cfg());
+    sm.load_program(&purecap_store_ids());
+    sm.set_scr(scr::ARG, data_cap(map::DRAM_BASE, 64 * 4).to_mem());
+    sm.reset();
+    let stats = sm.run(MAX).unwrap();
+    assert_eq!(stats.peak_meta_vrf_resident, 0, "metadata should compress fully");
+    assert!(stats.cap_regs_used >= 1);
+    assert!(stats.cap_regs_used <= 16, "few registers hold capabilities");
+}
+
+#[test]
+fn naive_vs_optimised_same_results() {
+    // The three CHERI configurations are functionally identical.
+    for opts in [CheriOpts::naive(), CheriOpts::optimised()] {
+        let mut sm = Sm::new(SmConfig::small(CheriMode::On(opts)));
+        sm.load_program(&purecap_store_ids());
+        sm.set_scr(scr::ARG, data_cap(map::DRAM_BASE, 64 * 4).to_mem());
+        sm.reset();
+        sm.run(MAX).unwrap();
+        for t in 0..64u32 {
+            assert_eq!(sm.memory().read(map::DRAM_BASE + t * 4, 4).unwrap(), t);
+        }
+    }
+}
+
+#[test]
+fn branch_cond_coverage() {
+    // Exercise all six branch conditions: store 1 if taken else 0, with
+    // operands -1 and 1.
+    let conds = [
+        (BranchCond::Eq, 0u32),
+        (BranchCond::Ne, 1),
+        (BranchCond::Lt, 1),  // -1 < 1 signed
+        (BranchCond::Ge, 0),
+        (BranchCond::Ltu, 0), // 0xFFFF_FFFF < 1 unsigned is false
+        (BranchCond::Geu, 1),
+    ];
+    for (i, (cond, want)) in conds.into_iter().enumerate() {
+        let mut a = Assembler::new();
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: -1 });
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A1, rs1: Reg::ZERO, imm: 1 });
+        a.push(Instr::Op { op: AluOp::Add, rd: Reg::A2, rs1: Reg::ZERO, rs2: Reg::ZERO });
+        let taken = a.label();
+        a.branch(cond, Reg::A0, Reg::A1, taken);
+        let done = a.label();
+        a.jump(done);
+        a.bind(taken);
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::ZERO, imm: 1 });
+        a.bind(done);
+        a.li(Reg::A3, map::DRAM_BASE);
+        a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A3, off: 0 });
+        a.terminate();
+        let (sm, r) = run_sm(SmConfig::with_geometry(1, 1, CheriMode::Off), a.assemble());
+        r.unwrap();
+        assert_eq!(sm.memory().read(map::DRAM_BASE, 4).unwrap(), want, "cond #{i}");
+    }
+}
+
+#[test]
+fn trace_ring_buffer_captures_the_tail() {
+    let mut a = Assembler::new();
+    a.push(Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO });
+    for i in 0..10 {
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A1, rs1: Reg::A0, imm: i });
+    }
+    a.terminate();
+    let mut sm = Sm::new(SmConfig::with_geometry(1, 4, CheriMode::Off));
+    sm.load_program(&a.assemble());
+    sm.enable_trace(4);
+    sm.reset();
+    sm.run(MAX).unwrap();
+    let entries: Vec<_> = sm.trace().collect();
+    assert_eq!(entries.len(), 4, "ring buffer keeps only the tail");
+    // The last entry is the terminate instruction.
+    assert!(matches!(entries[3].instr, Instr::Simt { .. }));
+    // Entries are in issue order with increasing cycles.
+    assert!(entries.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    // Display renders something useful.
+    assert!(entries[3].to_string().contains("simt.terminate"));
+
+    // Tracing off: buffer stays empty.
+    let mut sm2 = Sm::new(SmConfig::with_geometry(1, 4, CheriMode::Off));
+    let mut b = Assembler::new();
+    b.terminate();
+    sm2.load_program(&b.assemble());
+    sm2.reset();
+    sm2.run(MAX).unwrap();
+    assert_eq!(sm2.trace().count(), 0);
+}

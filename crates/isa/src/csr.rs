@@ -1,0 +1,37 @@
+//! Control and status register numbers visible to kernels.
+//!
+//! SIMTight exposes the SIMT geometry to software through a handful of
+//! read-only CSRs; the NoCL runtime uses them to compute thread and block
+//! indices.
+
+/// Hardware thread id within the SM: `warp_id * warp_size + lane`.
+pub const MHARTID: u16 = 0xF14;
+
+/// Number of warps resident in the SM.
+pub const SIMT_NUM_WARPS: u16 = 0xF20;
+
+/// Logarithm (base 2) of the number of threads per warp.
+pub const SIMT_LOG_LANES: u16 = 0xF21;
+
+/// Total hardware threads in the SM (`num_warps << log_lanes`).
+pub const SIMT_NUM_THREADS: u16 = 0xF22;
+
+/// Human-readable name of a CSR, for the disassembler.
+pub fn name(csr: u16) -> Option<&'static str> {
+    match csr {
+        MHARTID => Some("mhartid"),
+        SIMT_NUM_WARPS => Some("simt_num_warps"),
+        SIMT_LOG_LANES => Some("simt_log_lanes"),
+        SIMT_NUM_THREADS => Some("simt_num_threads"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names() {
+        assert_eq!(super::name(super::MHARTID), Some("mhartid"));
+        assert_eq!(super::name(0x123), None);
+    }
+}

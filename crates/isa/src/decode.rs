@@ -1,0 +1,261 @@
+//! Binary decoding from 32-bit instruction words.
+
+use crate::encode::{cheri_f3, cheri_f7, unary_from_code, *};
+use crate::instr::*;
+use crate::Reg;
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg::new(((w >> 7) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg::new(((w >> 15) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg::new(((w >> 20) & 0x1F) as u8)
+}
+
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | ((w >> 7) & 0x1F) as i32
+}
+
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 12 of the offset, sign-extended
+    ((sign << 12)
+        | (((w >> 7) & 1) as i32) << 11
+        | (((w >> 25) & 0x3F) as i32) << 5
+        | (((w >> 8) & 0xF) as i32) << 1) as i32
+}
+
+#[inline]
+fn imm_u(w: u32) -> u32 {
+    w & 0xFFFF_F000
+}
+
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 20, sign-extended
+    (sign << 20)
+        | ((((w >> 12) & 0xFF) as i32) << 12)
+        | ((((w >> 20) & 1) as i32) << 11)
+        | ((((w >> 21) & 0x3FF) as i32) << 1)
+}
+
+impl Instr {
+    /// Decode a 32-bit instruction word; `None` for unimplemented encodings.
+    pub fn decode(w: u32) -> Option<Instr> {
+        use Instr::*;
+        Some(match w & 0x7F {
+            OP_LUI => Lui { rd: rd(w), imm: imm_u(w) },
+            OP_AUIPC => Auipc { rd: rd(w), imm: imm_u(w) },
+            OP_JAL => Jal { rd: rd(w), off: imm_j(w) },
+            OP_JALR if funct3(w) == 0 => Jalr { rd: rd(w), rs1: rs1(w), off: imm_i(w) },
+            OP_BRANCH => {
+                let cond = match funct3(w) {
+                    0 => BranchCond::Eq,
+                    1 => BranchCond::Ne,
+                    4 => BranchCond::Lt,
+                    5 => BranchCond::Ge,
+                    6 => BranchCond::Ltu,
+                    7 => BranchCond::Geu,
+                    _ => return None,
+                };
+                Branch { cond, rs1: rs1(w), rs2: rs2(w), off: imm_b(w) }
+            }
+            OP_LOAD => {
+                let lw = match funct3(w) {
+                    0 => LoadWidth::B,
+                    1 => LoadWidth::H,
+                    2 => LoadWidth::W,
+                    4 => LoadWidth::Bu,
+                    5 => LoadWidth::Hu,
+                    _ => return None,
+                };
+                Load { w: lw, rd: rd(w), rs1: rs1(w), off: imm_i(w) }
+            }
+            OP_STORE => {
+                let sw = match funct3(w) {
+                    0 => StoreWidth::B,
+                    1 => StoreWidth::H,
+                    2 => StoreWidth::W,
+                    _ => return None,
+                };
+                Store { w: sw, rs2: rs2(w), rs1: rs1(w), off: imm_s(w) }
+            }
+            OP_OPIMM => {
+                let op = match funct3(w) {
+                    0 => AluOp::Add,
+                    1 => AluOp::Sll,
+                    2 => AluOp::Slt,
+                    3 => AluOp::Sltu,
+                    4 => AluOp::Xor,
+                    5 if funct7(w) == 0x20 => AluOp::Sra,
+                    5 => AluOp::Srl,
+                    6 => AluOp::Or,
+                    7 => AluOp::And,
+                    _ => return None,
+                };
+                let imm = match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1F) as i32,
+                    _ => imm_i(w),
+                };
+                OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+            }
+            OP_OP if funct7(w) == 0x01 => {
+                let op = match funct3(w) {
+                    0 => MulOp::Mul,
+                    1 => MulOp::Mulh,
+                    2 => MulOp::Mulhsu,
+                    3 => MulOp::Mulhu,
+                    4 => MulOp::Div,
+                    5 => MulOp::Divu,
+                    6 => MulOp::Rem,
+                    _ => MulOp::Remu,
+                };
+                MulDiv { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            OP_OP => {
+                let op = match (funct3(w), funct7(w)) {
+                    (0, 0x00) => AluOp::Add,
+                    (0, 0x20) => AluOp::Sub,
+                    (1, 0x00) => AluOp::Sll,
+                    (2, 0x00) => AluOp::Slt,
+                    (3, 0x00) => AluOp::Sltu,
+                    (4, 0x00) => AluOp::Xor,
+                    (5, 0x00) => AluOp::Srl,
+                    (5, 0x20) => AluOp::Sra,
+                    (6, 0x00) => AluOp::Or,
+                    (7, 0x00) => AluOp::And,
+                    _ => return None,
+                };
+                Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            OP_AMO if funct3(w) == 2 => {
+                let op = match funct7(w) >> 2 {
+                    0x00 => AmoOp::Add,
+                    0x01 => AmoOp::Swap,
+                    0x04 => AmoOp::Xor,
+                    0x08 => AmoOp::Or,
+                    0x0C => AmoOp::And,
+                    0x10 => AmoOp::Min,
+                    0x14 => AmoOp::Max,
+                    0x18 => AmoOp::Minu,
+                    0x1C => AmoOp::Maxu,
+                    _ => return None,
+                };
+                Amo { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            OP_MISCMEM => Fence,
+            OP_SYSTEM => match funct3(w) {
+                0 if imm_i(w) == 0 => Ecall,
+                0 if imm_i(w) == 1 => Ebreak,
+                2 => Csrrs { rd: rd(w), csr: ((w >> 20) & 0xFFF) as u16, rs1: rs1(w) },
+                _ => return None,
+            },
+            OP_FP => match funct7(w) {
+                0x00 => FOp { op: FpOp::Add, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x04 => FOp { op: FpOp::Sub, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x08 => FOp { op: FpOp::Mul, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x0C => FOp { op: FpOp::Div, rd: rd(w), rs1: rs1(w), rs2: rs2(w) },
+                0x14 => {
+                    let op = if funct3(w) == 0 { FpOp::Min } else { FpOp::Max };
+                    FOp { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+                }
+                0x2C => FSqrt { rd: rd(w), rs1: rs1(w) },
+                0x50 => {
+                    let op = match funct3(w) {
+                        0 => FcmpOp::Le,
+                        1 => FcmpOp::Lt,
+                        2 => FcmpOp::Eq,
+                        _ => return None,
+                    };
+                    FCmp { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+                }
+                0x60 => FCvtWS { rd: rd(w), rs1: rs1(w), signed: (w >> 20) & 1 == 0 },
+                0x68 => FCvtSW { rd: rd(w), rs1: rs1(w), signed: (w >> 20) & 1 == 0 },
+                _ => return None,
+            },
+            OP_CHERI => match funct3(w) {
+                cheri_f3::REG => match funct7(w) {
+                    cheri_f7::UNARY => CapUnary {
+                        op: unary_from_code((w >> 20) & 0x1F)?,
+                        rd: rd(w),
+                        cs1: rs1(w),
+                    },
+                    cheri_f7::AND_PERM => CAndPerm { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
+                    cheri_f7::SET_FLAGS => CSetFlags { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
+                    cheri_f7::SET_ADDR => CSetAddr { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
+                    cheri_f7::INC_OFFSET => CIncOffset { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
+                    cheri_f7::SET_BOUNDS => CSetBounds { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
+                    cheri_f7::SET_BOUNDS_EXACT => {
+                        CSetBoundsExact { cd: rd(w), cs1: rs1(w), rs2: rs2(w) }
+                    }
+                    cheri_f7::SPECIAL_RW => {
+                        CSpecialRw { cd: rd(w), cs1: rs1(w), scr: ((w >> 20) & 0x1F) as u8 }
+                    }
+                    _ => return None,
+                },
+                cheri_f3::SET_BOUNDS_IMM => {
+                    CSetBoundsImm { cd: rd(w), cs1: rs1(w), imm: (w >> 20) & 0xFFF }
+                }
+                cheri_f3::INC_OFFSET_IMM => {
+                    CIncOffsetImm { cd: rd(w), cs1: rs1(w), imm: imm_i(w) }
+                }
+                cheri_f3::CLC => Clc { cd: rd(w), cs1: rs1(w), off: imm_i(w) },
+                cheri_f3::CSC => Csc { cs2: rs2(w), cs1: rs1(w), off: imm_s(w) },
+                _ => return None,
+            },
+            OP_CUSTOM0 if funct3(w) == 0 => match imm_i(w) {
+                0 => Simt { op: SimtOp::Terminate },
+                1 => Simt { op: SimtOp::Barrier },
+                _ => return None,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_reconstruction() {
+        // Branch with a negative offset.
+        let i = Instr::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::A1, off: -8 };
+        assert_eq!(Instr::decode(i.encode()), Some(i));
+        // Jump with a large positive offset.
+        let j = Instr::Jal { rd: Reg::RA, off: 0xF_F77E };
+        assert_eq!(Instr::decode(j.encode()), Some(j));
+        // Store with a negative offset.
+        let s = Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::SP, off: -4 };
+        assert_eq!(Instr::decode(s.encode()), Some(s));
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert_eq!(Instr::decode(0), None); // all zeros: illegal
+        assert_eq!(Instr::decode(0xFFFF_FFFF), None);
+    }
+}

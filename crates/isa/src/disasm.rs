@@ -1,0 +1,178 @@
+//! Disassembly (`Display` for [`Instr`]).
+
+use crate::csr;
+use crate::instr::*;
+use core::fmt;
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm >> 12),
+            Auipc { rd, imm } => write!(f, "auipcc {rd}, {:#x}", imm >> 12),
+            Jal { rd, off } => write!(f, "cjal {rd}, {off}"),
+            Jalr { rd, rs1, off } => write!(f, "cjalr {rd}, {rs1}, {off}"),
+            Branch { cond, rs1, rs2, off } => {
+                let n = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{n} {rs1}, {rs2}, {off}")
+            }
+            Load { w, rd, rs1, off } => {
+                let n = match w {
+                    LoadWidth::B => "lb",
+                    LoadWidth::H => "lh",
+                    LoadWidth::W => "lw",
+                    LoadWidth::Bu => "lbu",
+                    LoadWidth::Hu => "lhu",
+                };
+                write!(f, "{n} {rd}, {off}({rs1})")
+            }
+            Store { w, rs2, rs1, off } => {
+                let n = match w {
+                    StoreWidth::B => "sb",
+                    StoreWidth::H => "sh",
+                    StoreWidth::W => "sw",
+                };
+                write!(f, "{n} {rs2}, {off}({rs1})")
+            }
+            OpImm { op, rd, rs1, imm } => {
+                let n = match op {
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    _ => return write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(op)),
+                };
+                write!(f, "{n} {rd}, {rs1}, {imm}")
+            }
+            Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op)),
+            MulDiv { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    MulOp::Mul => "mul",
+                    MulOp::Mulh => "mulh",
+                    MulOp::Mulhsu => "mulhsu",
+                    MulOp::Mulhu => "mulhu",
+                    MulOp::Div => "div",
+                    MulOp::Divu => "divu",
+                    MulOp::Rem => "rem",
+                    MulOp::Remu => "remu",
+                };
+                write!(f, "{n} {rd}, {rs1}, {rs2}")
+            }
+            Amo { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    AmoOp::Swap => "amoswap.w",
+                    AmoOp::Add => "amoadd.w",
+                    AmoOp::Xor => "amoxor.w",
+                    AmoOp::Or => "amoor.w",
+                    AmoOp::And => "amoand.w",
+                    AmoOp::Min => "amomin.w",
+                    AmoOp::Max => "amomax.w",
+                    AmoOp::Minu => "amominu.w",
+                    AmoOp::Maxu => "amomaxu.w",
+                };
+                write!(f, "{n} {rd}, {rs2}, ({rs1})")
+            }
+            Fence => write!(f, "fence"),
+            Ecall => write!(f, "ecall"),
+            Ebreak => write!(f, "ebreak"),
+            Csrrs { rd, csr: c, rs1 } => match csr::name(c) {
+                Some(n) => write!(f, "csrr {rd}, {n}"),
+                None => write!(f, "csrrs {rd}, {c:#x}, {rs1}"),
+            },
+            FOp { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    FpOp::Add => "fadd.s",
+                    FpOp::Sub => "fsub.s",
+                    FpOp::Mul => "fmul.s",
+                    FpOp::Div => "fdiv.s",
+                    FpOp::Min => "fmin.s",
+                    FpOp::Max => "fmax.s",
+                };
+                write!(f, "{n} {rd}, {rs1}, {rs2}")
+            }
+            FSqrt { rd, rs1 } => write!(f, "fsqrt.s {rd}, {rs1}"),
+            FCmp { op, rd, rs1, rs2 } => {
+                let n = match op {
+                    FcmpOp::Eq => "feq.s",
+                    FcmpOp::Lt => "flt.s",
+                    FcmpOp::Le => "fle.s",
+                };
+                write!(f, "{n} {rd}, {rs1}, {rs2}")
+            }
+            FCvtWS { rd, rs1, signed } => {
+                write!(f, "fcvt.w{}.s {rd}, {rs1}", if signed { "" } else { "u" })
+            }
+            FCvtSW { rd, rs1, signed } => {
+                write!(f, "fcvt.s.w{} {rd}, {rs1}", if signed { "" } else { "u" })
+            }
+            CapUnary { op, rd, cs1 } => {
+                let n = match op {
+                    UnaryCapOp::GetTag => "cgettag",
+                    UnaryCapOp::ClearTag => "ccleartag",
+                    UnaryCapOp::GetPerm => "cgetperm",
+                    UnaryCapOp::GetBase => "cgetbase",
+                    UnaryCapOp::GetLen => "cgetlen",
+                    UnaryCapOp::GetType => "cgettype",
+                    UnaryCapOp::GetSealed => "cgetsealed",
+                    UnaryCapOp::GetFlags => "cgetflags",
+                    UnaryCapOp::GetAddr => "cgetaddr",
+                    UnaryCapOp::Move => "cmove",
+                    UnaryCapOp::SealEntry => "csealentry",
+                    UnaryCapOp::Crrl => "crrl",
+                    UnaryCapOp::Cram => "cram",
+                };
+                write!(f, "{n} {rd}, {cs1}")
+            }
+            CAndPerm { cd, cs1, rs2 } => write!(f, "candperm {cd}, {cs1}, {rs2}"),
+            CSetFlags { cd, cs1, rs2 } => write!(f, "csetflags {cd}, {cs1}, {rs2}"),
+            CSetAddr { cd, cs1, rs2 } => write!(f, "csetaddr {cd}, {cs1}, {rs2}"),
+            CIncOffset { cd, cs1, rs2 } => write!(f, "cincoffset {cd}, {cs1}, {rs2}"),
+            CIncOffsetImm { cd, cs1, imm } => write!(f, "cincoffsetimm {cd}, {cs1}, {imm}"),
+            CSetBounds { cd, cs1, rs2 } => write!(f, "csetbounds {cd}, {cs1}, {rs2}"),
+            CSetBoundsExact { cd, cs1, rs2 } => write!(f, "csetboundsexact {cd}, {cs1}, {rs2}"),
+            CSetBoundsImm { cd, cs1, imm } => write!(f, "csetboundsimm {cd}, {cs1}, {imm}"),
+            Clc { cd, cs1, off } => write!(f, "clc {cd}, {off}({cs1})"),
+            Csc { cs2, cs1, off } => write!(f, "csc {cs2}, {off}({cs1})"),
+            CSpecialRw { cd, cs1, scr } => write!(f, "cspecialrw {cd}, scr{scr}, {cs1}"),
+            Simt { op: SimtOp::Terminate } => write!(f, "simt.terminate"),
+            Simt { op: SimtOp::Barrier } => write!(f, "simt.barrier"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn representative_disassembly() {
+        let i = Instr::Load { w: LoadWidth::W, rd: Reg::A0, rs1: Reg::SP, off: 8 };
+        assert_eq!(i.to_string(), "lw a0, 8(sp)");
+        let c = Instr::CSetBoundsImm { cd: Reg::A1, cs1: Reg::A0, imm: 64 };
+        assert_eq!(c.to_string(), "csetboundsimm a1, a0, 64");
+        let b = Instr::Simt { op: SimtOp::Barrier };
+        assert_eq!(b.to_string(), "simt.barrier");
+    }
+}

@@ -1,0 +1,313 @@
+//! Binary encoding to 32-bit instruction words.
+//!
+//! The base ISA uses the standard RISC-V formats. The Xcheri extension lives
+//! under major opcode `0x5B`; its sub-encodings are our own (documented on
+//! [`Instr::encode`]) since the model is both producer and consumer.
+
+use crate::instr::*;
+use crate::Reg;
+
+pub(crate) const OP_LUI: u32 = 0x37;
+pub(crate) const OP_AUIPC: u32 = 0x17;
+pub(crate) const OP_JAL: u32 = 0x6F;
+pub(crate) const OP_JALR: u32 = 0x67;
+pub(crate) const OP_BRANCH: u32 = 0x63;
+pub(crate) const OP_LOAD: u32 = 0x03;
+pub(crate) const OP_STORE: u32 = 0x23;
+pub(crate) const OP_OPIMM: u32 = 0x13;
+pub(crate) const OP_OP: u32 = 0x33;
+pub(crate) const OP_AMO: u32 = 0x2F;
+pub(crate) const OP_MISCMEM: u32 = 0x0F;
+pub(crate) const OP_SYSTEM: u32 = 0x73;
+pub(crate) const OP_FP: u32 = 0x53;
+pub(crate) const OP_CHERI: u32 = 0x5B;
+pub(crate) const OP_CUSTOM0: u32 = 0x0B;
+
+/// CHERI funct3 minor opcodes under `0x5B`.
+pub(crate) mod cheri_f3 {
+    pub const REG: u32 = 0; // R-type capability ops
+    pub const SET_BOUNDS_IMM: u32 = 1;
+    pub const INC_OFFSET_IMM: u32 = 2;
+    pub const CLC: u32 = 3;
+    pub const CSC: u32 = 4;
+}
+
+/// CHERI funct7 codes for the R-type group.
+pub(crate) mod cheri_f7 {
+    pub const SET_BOUNDS: u32 = 0x01;
+    pub const SET_BOUNDS_EXACT: u32 = 0x02;
+    pub const SET_ADDR: u32 = 0x03;
+    pub const INC_OFFSET: u32 = 0x04;
+    pub const AND_PERM: u32 = 0x05;
+    pub const SET_FLAGS: u32 = 0x06;
+    pub const SPECIAL_RW: u32 = 0x08;
+    pub const UNARY: u32 = 0x7F; // rs2 field selects the operation
+}
+
+pub(crate) fn unary_code(op: UnaryCapOp) -> u32 {
+    use UnaryCapOp::*;
+    match op {
+        GetTag => 0,
+        ClearTag => 1,
+        GetPerm => 2,
+        GetBase => 3,
+        GetLen => 4,
+        GetType => 5,
+        GetSealed => 6,
+        GetFlags => 7,
+        GetAddr => 8,
+        Move => 9,
+        SealEntry => 10,
+        Crrl => 11,
+        Cram => 12,
+    }
+}
+
+pub(crate) fn unary_from_code(code: u32) -> Option<UnaryCapOp> {
+    use UnaryCapOp::*;
+    Some(match code {
+        0 => GetTag,
+        1 => ClearTag,
+        2 => GetPerm,
+        3 => GetBase,
+        4 => GetLen,
+        5 => GetType,
+        6 => GetSealed,
+        7 => GetFlags,
+        8 => GetAddr,
+        9 => Move,
+        10 => SealEntry,
+        11 => Crrl,
+        12 => Cram,
+        _ => return None,
+    })
+}
+
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2f: u32) -> u32 {
+    (funct7 << 25) | (rs2f << 20) | (rs1.field() << 15) | (funct3 << 12) | (rd.field() << 7) | opcode
+}
+
+fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-type immediate out of range: {imm}");
+    ((imm as u32 & 0xFFF) << 20) | (rs1.field() << 15) | (funct3 << 12) | (rd.field() << 7) | opcode
+}
+
+fn i_type_u(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: u32) -> u32 {
+    debug_assert!(imm < 4096, "unsigned I-type immediate out of range: {imm}");
+    (imm << 20) | (rs1.field() << 15) | (funct3 << 12) | (rd.field() << 7) | opcode
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-type immediate out of range: {imm}");
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25)
+        | (rs2.field() << 20)
+        | (rs1.field() << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, off: i32) -> u32 {
+    debug_assert!(off % 2 == 0 && (-4096..=4094).contains(&off), "branch offset: {off}");
+    let imm = off as u32 & 0x1FFF;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2.field() << 20)
+        | (rs1.field() << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+fn u_type(opcode: u32, rd: Reg, imm: u32) -> u32 {
+    debug_assert!(imm & 0xFFF == 0, "U-type immediate has low bits: {imm:#x}");
+    imm | (rd.field() << 7) | opcode
+}
+
+fn j_type(opcode: u32, rd: Reg, off: i32) -> u32 {
+    debug_assert!(off % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&off), "jump offset: {off}");
+    let imm = off as u32 & 0x1F_FFFF;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd.field() << 7)
+        | opcode
+}
+
+fn alu_imm_f3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sll => 1,
+        AluOp::Slt => 2,
+        AluOp::Sltu => 3,
+        AluOp::Xor => 4,
+        AluOp::Srl | AluOp::Sra => 5,
+        AluOp::Or => 6,
+        AluOp::And => 7,
+        AluOp::Sub => panic!("subi does not exist"),
+    }
+}
+
+impl Instr {
+    /// Encode to a 32-bit instruction word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an immediate operand does not fit its
+    /// encoding field; the code generator is responsible for range splitting.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        match self {
+            Lui { rd, imm } => u_type(OP_LUI, rd, imm),
+            Auipc { rd, imm } => u_type(OP_AUIPC, rd, imm),
+            Jal { rd, off } => j_type(OP_JAL, rd, off),
+            Jalr { rd, rs1, off } => i_type(OP_JALR, 0, rd, rs1, off),
+            Branch { cond, rs1, rs2, off } => {
+                let f3 = match cond {
+                    BranchCond::Eq => 0,
+                    BranchCond::Ne => 1,
+                    BranchCond::Lt => 4,
+                    BranchCond::Ge => 5,
+                    BranchCond::Ltu => 6,
+                    BranchCond::Geu => 7,
+                };
+                b_type(OP_BRANCH, f3, rs1, rs2, off)
+            }
+            Load { w, rd, rs1, off } => {
+                let f3 = match w {
+                    LoadWidth::B => 0,
+                    LoadWidth::H => 1,
+                    LoadWidth::W => 2,
+                    LoadWidth::Bu => 4,
+                    LoadWidth::Hu => 5,
+                };
+                i_type(OP_LOAD, f3, rd, rs1, off)
+            }
+            Store { w, rs2, rs1, off } => {
+                let f3 = match w {
+                    StoreWidth::B => 0,
+                    StoreWidth::H => 1,
+                    StoreWidth::W => 2,
+                };
+                s_type(OP_STORE, f3, rs1, rs2, off)
+            }
+            OpImm { op, rd, rs1, imm } => match op {
+                AluOp::Sll => i_type_u(OP_OPIMM, 1, rd, rs1, (imm as u32) & 0x1F),
+                AluOp::Srl => i_type_u(OP_OPIMM, 5, rd, rs1, (imm as u32) & 0x1F),
+                AluOp::Sra => i_type_u(OP_OPIMM, 5, rd, rs1, ((imm as u32) & 0x1F) | 0x400),
+                _ => i_type(OP_OPIMM, alu_imm_f3(op), rd, rs1, imm),
+            },
+            Op { op, rd, rs1, rs2 } => {
+                let (f3, f7) = match op {
+                    AluOp::Add => (0, 0x00),
+                    AluOp::Sub => (0, 0x20),
+                    AluOp::Sll => (1, 0x00),
+                    AluOp::Slt => (2, 0x00),
+                    AluOp::Sltu => (3, 0x00),
+                    AluOp::Xor => (4, 0x00),
+                    AluOp::Srl => (5, 0x00),
+                    AluOp::Sra => (5, 0x20),
+                    AluOp::Or => (6, 0x00),
+                    AluOp::And => (7, 0x00),
+                };
+                r_type(OP_OP, f3, f7, rd, rs1, rs2.field())
+            }
+            MulDiv { op, rd, rs1, rs2 } => {
+                let f3 = match op {
+                    MulOp::Mul => 0,
+                    MulOp::Mulh => 1,
+                    MulOp::Mulhsu => 2,
+                    MulOp::Mulhu => 3,
+                    MulOp::Div => 4,
+                    MulOp::Divu => 5,
+                    MulOp::Rem => 6,
+                    MulOp::Remu => 7,
+                };
+                r_type(OP_OP, f3, 0x01, rd, rs1, rs2.field())
+            }
+            Amo { op, rd, rs1, rs2 } => {
+                let f5 = match op {
+                    AmoOp::Add => 0x00,
+                    AmoOp::Swap => 0x01,
+                    AmoOp::Xor => 0x04,
+                    AmoOp::Or => 0x08,
+                    AmoOp::And => 0x0C,
+                    AmoOp::Min => 0x10,
+                    AmoOp::Max => 0x14,
+                    AmoOp::Minu => 0x18,
+                    AmoOp::Maxu => 0x1C,
+                };
+                r_type(OP_AMO, 2, f5 << 2, rd, rs1, rs2.field())
+            }
+            Fence => i_type(OP_MISCMEM, 0, Reg::ZERO, Reg::ZERO, 0),
+            Ecall => i_type(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0),
+            Ebreak => i_type(OP_SYSTEM, 0, Reg::ZERO, Reg::ZERO, 1),
+            Csrrs { rd, csr, rs1 } => i_type_u(OP_SYSTEM, 2, rd, rs1, csr as u32),
+            FOp { op, rd, rs1, rs2 } => {
+                let (f7, f3) = match op {
+                    FpOp::Add => (0x00, 0),
+                    FpOp::Sub => (0x04, 0),
+                    FpOp::Mul => (0x08, 0),
+                    FpOp::Div => (0x0C, 0),
+                    FpOp::Min => (0x14, 0),
+                    FpOp::Max => (0x14, 1),
+                };
+                r_type(OP_FP, f3, f7, rd, rs1, rs2.field())
+            }
+            FSqrt { rd, rs1 } => r_type(OP_FP, 0, 0x2C, rd, rs1, 0),
+            FCmp { op, rd, rs1, rs2 } => {
+                let f3 = match op {
+                    FcmpOp::Le => 0,
+                    FcmpOp::Lt => 1,
+                    FcmpOp::Eq => 2,
+                };
+                r_type(OP_FP, f3, 0x50, rd, rs1, rs2.field())
+            }
+            FCvtWS { rd, rs1, signed } => r_type(OP_FP, 0, 0x60, rd, rs1, !signed as u32),
+            FCvtSW { rd, rs1, signed } => r_type(OP_FP, 0, 0x68, rd, rs1, !signed as u32),
+
+            CapUnary { op, rd, cs1 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::UNARY, rd, cs1, unary_code(op))
+            }
+            CAndPerm { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::AND_PERM, cd, cs1, rs2.field())
+            }
+            CSetFlags { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::SET_FLAGS, cd, cs1, rs2.field())
+            }
+            CSetAddr { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::SET_ADDR, cd, cs1, rs2.field())
+            }
+            CIncOffset { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::INC_OFFSET, cd, cs1, rs2.field())
+            }
+            CIncOffsetImm { cd, cs1, imm } => {
+                i_type(OP_CHERI, cheri_f3::INC_OFFSET_IMM, cd, cs1, imm)
+            }
+            CSetBounds { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::SET_BOUNDS, cd, cs1, rs2.field())
+            }
+            CSetBoundsExact { cd, cs1, rs2 } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::SET_BOUNDS_EXACT, cd, cs1, rs2.field())
+            }
+            CSetBoundsImm { cd, cs1, imm } => {
+                i_type_u(OP_CHERI, cheri_f3::SET_BOUNDS_IMM, cd, cs1, imm)
+            }
+            Clc { cd, cs1, off } => i_type(OP_CHERI, cheri_f3::CLC, cd, cs1, off),
+            Csc { cs2, cs1, off } => s_type(OP_CHERI, cheri_f3::CSC, cs1, cs2, off),
+            CSpecialRw { cd, cs1, scr } => {
+                r_type(OP_CHERI, cheri_f3::REG, cheri_f7::SPECIAL_RW, cd, cs1, scr as u32)
+            }
+            Simt { op } => {
+                let imm = match op {
+                    SimtOp::Terminate => 0,
+                    SimtOp::Barrier => 1,
+                };
+                i_type(OP_CUSTOM0, 0, Reg::ZERO, Reg::ZERO, imm)
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Encode/decode roundtrip over the whole instruction space.
+
+use proptest::prelude::*;
+use simt_isa::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn branch_off() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn jump_off() -> impl Strategy<Value = i32> {
+    (-(1 << 19)..(1 << 19)).prop_map(|x: i32| x * 2)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    let r = reg;
+    prop_oneof![
+        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm: imm & 0xFFFF_F000 }),
+        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Auipc { rd, imm: imm & 0xFFFF_F000 }),
+        (r(), jump_off()).prop_map(|(rd, off)| Instr::Jal { rd, off }),
+        (r(), r(), imm12()).prop_map(|(rd, rs1, off)| Instr::Jalr { rd, rs1, off }),
+        (
+            prop::sample::select(vec![
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu
+            ]),
+            r(),
+            r(),
+            branch_off()
+        )
+            .prop_map(|(cond, rs1, rs2, off)| Instr::Branch { cond, rs1, rs2, off }),
+        (
+            prop::sample::select(vec![
+                LoadWidth::B,
+                LoadWidth::H,
+                LoadWidth::W,
+                LoadWidth::Bu,
+                LoadWidth::Hu
+            ]),
+            r(),
+            r(),
+            imm12()
+        )
+            .prop_map(|(w, rd, rs1, off)| Instr::Load { w, rd, rs1, off }),
+        (
+            prop::sample::select(vec![StoreWidth::B, StoreWidth::H, StoreWidth::W]),
+            r(),
+            r(),
+            imm12()
+        )
+            .prop_map(|(w, rs2, rs1, off)| Instr::Store { w, rs2, rs1, off }),
+        (alu_op(), r(), r(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
+                _ => imm,
+            };
+            // subi does not exist; degrade to addi
+            let op = if op == AluOp::Sub { AluOp::Add } else { op };
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
+        (alu_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(vec![
+                MulOp::Mul,
+                MulOp::Mulh,
+                MulOp::Mulhsu,
+                MulOp::Mulhu,
+                MulOp::Div,
+                MulOp::Divu,
+                MulOp::Rem,
+                MulOp::Remu
+            ]),
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(vec![
+                AmoOp::Swap,
+                AmoOp::Add,
+                AmoOp::Xor,
+                AmoOp::Or,
+                AmoOp::And,
+                AmoOp::Min,
+                AmoOp::Max,
+                AmoOp::Minu,
+                AmoOp::Maxu
+            ]),
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Amo { op, rd, rs1, rs2 }),
+        (r(), 0u16..4096, r()).prop_map(|(rd, csr, rs1)| Instr::Csrrs { rd, csr, rs1 }),
+        (
+            prop::sample::select(vec![FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max]),
+            r(),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FOp { op, rd, rs1, rs2 }),
+        (r(), r()).prop_map(|(rd, rs1)| Instr::FSqrt { rd, rs1 }),
+        (prop::sample::select(vec![FcmpOp::Eq, FcmpOp::Lt, FcmpOp::Le]), r(), r(), r())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FCmp { op, rd, rs1, rs2 }),
+        (r(), r(), any::<bool>()).prop_map(|(rd, rs1, signed)| Instr::FCvtWS { rd, rs1, signed }),
+        (r(), r(), any::<bool>()).prop_map(|(rd, rs1, signed)| Instr::FCvtSW { rd, rs1, signed }),
+        (
+            prop::sample::select(vec![
+                UnaryCapOp::GetTag,
+                UnaryCapOp::ClearTag,
+                UnaryCapOp::GetPerm,
+                UnaryCapOp::GetBase,
+                UnaryCapOp::GetLen,
+                UnaryCapOp::GetType,
+                UnaryCapOp::GetSealed,
+                UnaryCapOp::GetFlags,
+                UnaryCapOp::GetAddr,
+                UnaryCapOp::Move,
+                UnaryCapOp::SealEntry,
+                UnaryCapOp::Crrl,
+                UnaryCapOp::Cram
+            ]),
+            r(),
+            r()
+        )
+            .prop_map(|(op, rd, cs1)| Instr::CapUnary { op, rd, cs1 }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CAndPerm { cd, cs1, rs2 }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetFlags { cd, cs1, rs2 }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetAddr { cd, cs1, rs2 }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CIncOffset { cd, cs1, rs2 }),
+        (r(), r(), imm12()).prop_map(|(cd, cs1, imm)| Instr::CIncOffsetImm { cd, cs1, imm }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetBounds { cd, cs1, rs2 }),
+        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetBoundsExact { cd, cs1, rs2 }),
+        (r(), r(), 0u32..4096).prop_map(|(cd, cs1, imm)| Instr::CSetBoundsImm { cd, cs1, imm }),
+        (r(), r(), imm12()).prop_map(|(cd, cs1, off)| Instr::Clc { cd, cs1, off }),
+        (r(), r(), imm12()).prop_map(|(cs2, cs1, off)| Instr::Csc { cs2, cs1, off }),
+        (r(), r(), 0u8..32).prop_map(|(cd, cs1, scr)| Instr::CSpecialRw { cd, cs1, scr }),
+        prop::sample::select(vec![
+            Instr::Fence,
+            Instr::Ecall,
+            Instr::Ebreak,
+            Instr::Simt { op: SimtOp::Terminate },
+            Instr::Simt { op: SimtOp::Barrier }
+        ]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Every instruction round-trips through its 32-bit encoding.
+    #[test]
+    fn encode_decode_roundtrip(i in instr()) {
+        let w = i.encode();
+        prop_assert_eq!(Instr::decode(w), Some(i), "word={:#010x}", w);
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disasm_total(i in instr()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+
+    /// Decode is total over arbitrary words (no panics).
+    #[test]
+    fn decode_total(w in any::<u32>()) {
+        let _ = Instr::decode(w);
+    }
+}

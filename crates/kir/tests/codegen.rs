@@ -1,0 +1,136 @@
+//! Code-generator structural tests: the instruction mix each mode emits.
+
+use nocl_kir::{compile, Elem, Expr, Kernel, KernelBuilder, Mode};
+use simt_isa::Instr;
+
+fn vecadd() -> Kernel {
+    let mut k = KernelBuilder::new("vecadd");
+    let len = k.param_u32("len");
+    let a = k.param_ptr("a", Elem::I32);
+    let b = k.param_ptr("b", Elem::I32);
+    let c = k.param_ptr("c", Elem::I32);
+    let i = k.var_u32("i");
+    k.for_(i.clone(), k.global_id(), len, k.global_threads(), |k| {
+        k.store(&c, i.clone(), a.at(i.clone()) + b.at(i.clone()));
+    });
+    k.finish()
+}
+
+fn decoded(kernel: &Kernel, mode: Mode) -> Vec<Instr> {
+    compile(kernel, mode)
+        .unwrap()
+        .words
+        .iter()
+        .map(|&w| Instr::decode(w).expect("generated code decodes"))
+        .collect()
+}
+
+#[test]
+fn purecap_uses_capability_instructions() {
+    let k = vecadd();
+    let instrs = decoded(&k, Mode::PureCap);
+    let has = |f: fn(&Instr) -> bool| instrs.iter().any(f);
+    assert!(has(|i| matches!(i, Instr::Clc { .. })), "arguments arrive via CLC");
+    assert!(has(|i| matches!(i, Instr::CIncOffset { .. })), "pointer arithmetic via CIncOffset");
+    assert!(has(|i| matches!(i, Instr::CSpecialRw { .. })), "argument capability via CSpecialRW");
+    // No raw integer add is used to move a pointer: the baseline version
+    // has three more plain ADDs (one per address calc) than purecap.
+    let base = decoded(&k, Mode::Baseline);
+    let adds = |v: &[Instr]| {
+        v.iter().filter(|i| matches!(i, Instr::Op { op: simt_isa::AluOp::Add, .. })).count()
+    };
+    assert!(adds(&base) > adds(&instrs));
+}
+
+#[test]
+fn baseline_uses_no_cheri_instructions() {
+    for i in decoded(&vecadd(), Mode::Baseline) {
+        assert!(
+            !matches!(
+                i,
+                Instr::Clc { .. }
+                    | Instr::Csc { .. }
+                    | Instr::CIncOffset { .. }
+                    | Instr::CIncOffsetImm { .. }
+                    | Instr::CSetBounds { .. }
+                    | Instr::CSetBoundsImm { .. }
+                    | Instr::CSpecialRw { .. }
+                    | Instr::CapUnary { .. }
+            ),
+            "baseline code must be CHERI-free: {i}"
+        );
+    }
+}
+
+#[test]
+fn gpushield_code_is_identical_to_baseline() {
+    // GPUShield's checking is entirely in hardware: the generated program
+    // is byte-for-byte the baseline one.
+    let k = vecadd();
+    let base = compile(&k, Mode::Baseline).unwrap();
+    let shield = compile(&k, Mode::GpuShield).unwrap();
+    assert_eq!(base.words, shield.words);
+}
+
+#[test]
+fn rust_modes_emit_checks_monotonically() {
+    let k = vecadd();
+    let base = compile(&k, Mode::Baseline).unwrap().len();
+    let checked = compile(&k, Mode::RustChecked).unwrap().len();
+    let full = compile(&k, Mode::RustFull).unwrap().len();
+    let purecap = compile(&k, Mode::PureCap).unwrap().len();
+    assert!(checked > base, "bounds checks add instructions");
+    assert!(full > checked, "RustFull adds residual costs");
+    // CHERI's checks are in hardware: code size stays close to baseline.
+    assert!(purecap <= base + 6, "purecap {purecap} vs base {base}");
+    // The Rust port contains sltu+branch pairs.
+    let instrs = decoded(&k, Mode::RustChecked);
+    let sltus = instrs
+        .iter()
+        .filter(|i| matches!(i, Instr::Op { op: simt_isa::AluOp::Sltu, .. }))
+        .count();
+    assert!(sltus >= 3, "one check per access: {sltus}");
+}
+
+#[test]
+fn disassembly_is_complete_and_labelled() {
+    let c = compile(&vecadd(), Mode::PureCap).unwrap();
+    let listing = c.disassemble();
+    assert_eq!(listing.lines().count(), c.len());
+    assert!(listing.starts_with("10000000:"));
+    assert!(listing.contains("clc"));
+    assert!(listing.contains("cincoffset"));
+    assert!(listing.contains("simt.terminate"));
+}
+
+#[test]
+fn shared_arrays_get_bounded_capabilities() {
+    let mut k = KernelBuilder::new("sh");
+    let out = k.param_ptr("out", Elem::I32);
+    let tile = k.shared("tile", Elem::I32, 64);
+    k.store(&tile, k.thread_idx(), Expr::i32(1));
+    k.barrier();
+    k.store(&out, k.thread_idx(), tile.at(k.thread_idx()));
+    let kernel = k.finish();
+    let instrs = decoded(&kernel, Mode::PureCap);
+    assert!(
+        instrs.iter().any(|i| matches!(i, Instr::CSetBoundsImm { .. })),
+        "declareShared derives a bounded capability"
+    );
+    assert!(instrs.iter().any(|i| matches!(i, Instr::Simt { op: simt_isa::SimtOp::Barrier })));
+}
+
+#[test]
+fn register_pressure_reports_cleanly() {
+    // A kernel with an absurd number of parameters fails with a
+    // RegisterPressure error rather than a panic.
+    let mut k = KernelBuilder::new("fatparams");
+    for i in 0..30 {
+        k.param_ptr(&format!("p{i}"), Elem::I32);
+    }
+    let kernel = k.finish();
+    match compile(&kernel, Mode::RustChecked) {
+        Err(nocl_kir::CompileError::RegisterPressure(_)) => {}
+        other => panic!("expected register-pressure error, got {other:?}"),
+    }
+}

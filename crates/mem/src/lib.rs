@@ -1,0 +1,320 @@
+//! The memory subsystem of the CHERI-SIMT model (Section 3.4 of the paper).
+//!
+//! Components, mirroring the SIMTight evaluation SoC (Figure 9):
+//!
+//! * [`MainMemory`] — DDR4-backed tagged DRAM: byte-addressable data plus one
+//!   hidden tag bit per naturally-aligned 32-bit word (the paper's chosen
+//!   granularity; a 64-bit capability is valid only if both halves are
+//!   tagged).
+//! * [`TagController`] — sits in front of DRAM, serving tag bits from a
+//!   reserved region through a small [`TagCache`] so that data+tag access
+//!   appears atomic (Joannou et al., "Efficient Tagged Memory").
+//! * [`CoalescingUnit`] — packs per-lane requests into a small set of wide
+//!   (64-byte) DRAM transactions using Tesla-style same-block rules.
+//! * [`Scratchpad`] — banked shared local memory with 33-bit words (data +
+//!   tag), supporting parallel random access with bank-conflict
+//!   serialisation.
+//! * [`Dram`] — a latency/bandwidth channel model with traffic counters
+//!   (drives Figure 12, DRAM bandwidth usage).
+//!
+//! 64-bit capability accesses are *multi-flit transactions*: two inseparable
+//! 32-bit accesses, so the data-path width is unchanged at the cost of a
+//! two-cycle capability access time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalesce;
+mod dram;
+pub mod map;
+mod scratch;
+mod tagcache;
+
+pub use coalesce::{Coalesced, CoalescingUnit, LaneRequest, TRANSACTION_BYTES};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use scratch::{Scratchpad, ScratchStats};
+pub use tagcache::{TagCache, TagCacheConfig, TagCacheStats, TagController};
+
+use cheri_cap::CapMem;
+
+/// A fault reported by the memory subsystem (not a CHERI fault — those are
+/// raised by the pipeline before the request reaches memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The address does not map to DRAM, scratchpad, or instruction memory.
+    Unmapped(u32),
+    /// The access is not naturally aligned.
+    Misaligned(u32),
+}
+
+impl core::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemFault::Unmapped(a) => write!(f, "unmapped address {a:#010x}"),
+            MemFault::Misaligned(a) => write!(f, "misaligned access at {a:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Byte-addressable tagged DRAM (functional state).
+///
+/// Timing and traffic are modelled separately by [`Dram`] and
+/// [`TagController`]; this type holds the bits.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    data: Vec<u8>,
+    /// One tag bit per naturally-aligned 32-bit word.
+    tags: Vec<u64>,
+    base: u32,
+}
+
+impl MainMemory {
+    /// Allocate `size` bytes of DRAM starting at physical address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of 64 (the transaction size).
+    pub fn new(base: u32, size: u32) -> Self {
+        assert_eq!(size % 64, 0, "DRAM size must be a multiple of 64 bytes");
+        MainMemory {
+            data: vec![0; size as usize],
+            tags: vec![0; (size as usize / 4).div_ceil(64)],
+            base,
+        }
+    }
+
+    /// Base physical address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Does `[addr, addr+len)` fall entirely inside this memory?
+    pub fn contains(&self, addr: u32, len: u32) -> bool {
+        let a = addr as u64;
+        a >= self.base as u64 && a + len as u64 <= self.base as u64 + self.data.len() as u64
+    }
+
+    #[inline]
+    fn off(&self, addr: u32) -> usize {
+        (addr - self.base) as usize
+    }
+
+    /// Read `width` (1/2/4) bytes, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or misaligned accesses.
+    pub fn read(&self, addr: u32, width: u32) -> Result<u32, MemFault> {
+        if !self.contains(addr, width) {
+            return Err(MemFault::Unmapped(addr));
+        }
+        if addr % width != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        let o = self.off(addr);
+        Ok(match width {
+            1 => self.data[o] as u32,
+            2 => u16::from_le_bytes([self.data[o], self.data[o + 1]]) as u32,
+            4 => u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap()),
+            _ => panic!("bad width {width}"),
+        })
+    }
+
+    /// Write `width` (1/2/4) bytes; clears the covering word's tag bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or misaligned accesses.
+    pub fn write(&mut self, addr: u32, value: u32, width: u32) -> Result<(), MemFault> {
+        if !self.contains(addr, width) {
+            return Err(MemFault::Unmapped(addr));
+        }
+        if addr % width != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        let o = self.off(addr);
+        match width {
+            1 => self.data[o] = value as u8,
+            2 => self.data[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => self.data[o..o + 4].copy_from_slice(&value.to_le_bytes()),
+            _ => panic!("bad width {width}"),
+        }
+        self.set_tag(addr, false);
+        Ok(())
+    }
+
+    /// The tag bit of the 32-bit word containing `addr`.
+    pub fn tag(&self, addr: u32) -> bool {
+        let w = self.off(addr & !3) / 4;
+        self.tags[w / 64] & (1 << (w % 64)) != 0
+    }
+
+    fn set_tag(&mut self, addr: u32, tag: bool) {
+        let w = self.off(addr & !3) / 4;
+        if tag {
+            self.tags[w / 64] |= 1 << (w % 64);
+        } else {
+            self.tags[w / 64] &= !(1 << (w % 64));
+        }
+    }
+
+    /// Load a 64+1-bit capability (two atomic 32-bit flits plus tags).
+    /// The result is tagged only if both word tags are set (the paper's
+    /// invariant for its 32-bit tag granularity).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or misaligned (non-8-byte-aligned) accesses.
+    pub fn read_cap(&self, addr: u32) -> Result<CapMem, MemFault> {
+        if addr % 8 != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        let lo = self.read(addr, 4)?;
+        let hi = self.read(addr + 4, 4)?;
+        let tag = self.tag(addr) && self.tag(addr + 4);
+        Ok(CapMem::from_bits(((hi as u64) << 32) | lo as u64, tag))
+    }
+
+    /// Store a 64+1-bit capability (two atomic 32-bit flits plus tags).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or misaligned (non-8-byte-aligned) accesses.
+    pub fn write_cap(&mut self, addr: u32, cap: CapMem) -> Result<(), MemFault> {
+        if addr % 8 != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        self.write(addr, cap.bits() as u32, 4)?;
+        self.write(addr + 4, (cap.bits() >> 32) as u32, 4)?;
+        self.set_tag(addr, cap.tag());
+        self.set_tag(addr + 4, cap.tag());
+        Ok(())
+    }
+
+    /// Bulk copy-in for the host runtime (clears covered tags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        assert!(self.contains(addr, bytes.len() as u32), "write_bytes out of range");
+        let o = self.off(addr);
+        self.data[o..o + bytes.len()].copy_from_slice(bytes);
+        let mut a = addr & !3;
+        while a < addr + bytes.len() as u32 {
+            self.set_tag(a, false);
+            a += 4;
+        }
+    }
+
+    /// Revocation sweep (temporal safety, Cornucopia-style): clear the tag
+    /// of every capability in memory whose bounds intersect
+    /// `[base, base+len)`. Returns the number of capabilities revoked.
+    ///
+    /// The paper defers temporal safety to future work but notes that CHERI
+    /// "lays the foundation" for it: because capabilities are precisely
+    /// distinguishable from data (the tag bits), the allocator can sweep
+    /// memory and revoke all references into a freed region.
+    pub fn revoke_region(&mut self, base: u32, len: u32) -> u32 {
+        let top = base as u64 + len as u64;
+        let mut revoked = 0;
+        let mut addr = self.base;
+        while addr + 8 <= self.base + self.size() {
+            if self.tag(addr) && self.tag(addr + 4) {
+                let cap = cheri_cap::CapPipe::from_mem(
+                    self.read_cap(addr).expect("aligned in-range"),
+                );
+                if cap.tag() && (cap.base() as u64) < top && cap.top() > base as u64 {
+                    self.set_tag(addr, false);
+                    self.set_tag(addr + 4, false);
+                    revoked += 1;
+                }
+            }
+            addr += 8;
+        }
+        revoked
+    }
+
+    /// Bulk copy-out for the host runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> &[u8] {
+        assert!(self.contains(addr, len), "read_bytes out of range");
+        let o = self.off(addr);
+        &self.data[o..o + len as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::CapPipe;
+
+    #[test]
+    fn read_write_widths() {
+        let mut m = MainMemory::new(0x8000_0000, 4096);
+        m.write(0x8000_0010, 0xDEAD_BEEF, 4).unwrap();
+        assert_eq!(m.read(0x8000_0010, 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read(0x8000_0010, 1).unwrap(), 0xEF);
+        assert_eq!(m.read(0x8000_0012, 2).unwrap(), 0xDEAD);
+        m.write(0x8000_0011, 0x42, 1).unwrap();
+        assert_eq!(m.read(0x8000_0010, 4).unwrap(), 0xDEAD_42EF);
+    }
+
+    #[test]
+    fn faults() {
+        let mut m = MainMemory::new(0x8000_0000, 4096);
+        assert_eq!(m.read(0x7FFF_FFFF, 1), Err(MemFault::Unmapped(0x7FFF_FFFF)));
+        assert_eq!(m.read(0x8000_1000, 1), Err(MemFault::Unmapped(0x8000_1000)));
+        assert_eq!(m.read(0x8000_0001, 4), Err(MemFault::Misaligned(0x8000_0001)));
+        assert_eq!(m.write(0x8000_0002, 0, 4), Err(MemFault::Misaligned(0x8000_0002)));
+        assert_eq!(m.read_cap(0x8000_0004), Err(MemFault::Misaligned(0x8000_0004)));
+    }
+
+    #[test]
+    fn tags_track_capability_stores() {
+        let mut m = MainMemory::new(0x8000_0000, 4096);
+        let c = CapPipe::almighty().set_addr(0x8000_0100).to_mem();
+        m.write_cap(0x8000_0020, c).unwrap();
+        let back = m.read_cap(0x8000_0020).unwrap();
+        assert_eq!(back, c);
+        assert!(back.tag());
+        // Overwriting one half with data clears the pair's validity.
+        m.write(0x8000_0024, 0x1234, 4).unwrap();
+        assert!(!m.read_cap(0x8000_0020).unwrap().tag());
+        // And the data halves read back as plain words.
+        assert_eq!(m.read(0x8000_0024, 4).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn tag_forging_is_impossible() {
+        // Writing the exact bit pattern of a valid capability as data does
+        // not make it dereferenceable: the tag stays clear.
+        let mut m = MainMemory::new(0x8000_0000, 4096);
+        let c = CapPipe::almighty().to_mem();
+        m.write(0x8000_0040, c.bits() as u32, 4).unwrap();
+        m.write(0x8000_0044, (c.bits() >> 32) as u32, 4).unwrap();
+        let forged = m.read_cap(0x8000_0040).unwrap();
+        assert_eq!(forged.bits(), c.bits());
+        assert!(!forged.tag());
+    }
+
+    #[test]
+    fn bulk_io() {
+        let mut m = MainMemory::new(0x8000_0000, 4096);
+        m.write_cap(0x8000_0060, CapPipe::almighty().to_mem()).unwrap();
+        m.write_bytes(0x8000_0060, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x8000_0060, 5), &[1, 2, 3, 4, 5]);
+        // Bulk writes strip tags.
+        assert!(!m.read_cap(0x8000_0060).unwrap().tag());
+    }
+}

@@ -1,0 +1,85 @@
+//! The physical memory map of the evaluation SoC.
+//!
+//! ```text
+//!   0x1000_0000  +------------------------+
+//!                | TCIM (instructions)    |  64 KiB tightly-coupled
+//!   0x1001_0000  +------------------------+
+//!   0x4000_0000  +------------------------+
+//!                | Scratchpad (banked)    |  64 KiB, 33-bit words
+//!   0x4001_0000  +------------------------+
+//!   0x8000_0000  +------------------------+
+//!                | DRAM                   |  DramConfig::size bytes
+//!                |  ... heap/buffers ...  |
+//!                |  ... stacks ...        |
+//!                |  tag reserved region   |  size/32 bytes at the top,
+//!                +------------------------+  not architecturally visible
+//! ```
+
+/// Base of the tightly-coupled instruction memory.
+pub const TCIM_BASE: u32 = 0x1000_0000;
+/// Size of the instruction memory in bytes (64 KiB, as in the SIMTight
+/// evaluation SoC).
+pub const TCIM_SIZE: u32 = 64 * 1024;
+
+/// Base of the scratchpad (shared local memory).
+pub const SCRATCH_BASE: u32 = 0x4000_0000;
+/// Size of the scratchpad in bytes (64 KiB per SM, as in modern GPUs).
+pub const SCRATCH_SIZE: u32 = 64 * 1024;
+
+/// Base of DRAM.
+pub const DRAM_BASE: u32 = 0x8000_0000;
+/// Default DRAM size in bytes (16 MiB is ample for the benchmark suite).
+pub const DRAM_DEFAULT_SIZE: u32 = 16 * 1024 * 1024;
+
+/// Which region an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Tightly-coupled instruction memory.
+    Tcim,
+    /// Banked scratchpad.
+    Scratch,
+    /// Main memory.
+    Dram,
+    /// Not mapped.
+    Unmapped,
+}
+
+/// Route an address to its region (`dram_size` is the configured DRAM size,
+/// excluding nothing — the tag region is carved out of the top by the
+/// runtime's allocator, not by routing).
+pub fn route(addr: u32, dram_size: u32) -> Region {
+    if (TCIM_BASE..TCIM_BASE + TCIM_SIZE).contains(&addr) {
+        Region::Tcim
+    } else if (SCRATCH_BASE..SCRATCH_BASE + SCRATCH_SIZE).contains(&addr) {
+        Region::Scratch
+    } else if addr >= DRAM_BASE && (addr - DRAM_BASE) < dram_size {
+        Region::Dram
+    } else {
+        Region::Unmapped
+    }
+}
+
+/// Bytes reserved at the top of DRAM for tag storage: one bit per 32-bit
+/// word, i.e. `size / 32`, rounded up to a 64-byte transaction.
+pub fn tag_region_bytes(dram_size: u32) -> u32 {
+    (dram_size / 32).next_multiple_of(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing() {
+        assert_eq!(route(TCIM_BASE, DRAM_DEFAULT_SIZE), Region::Tcim);
+        assert_eq!(route(SCRATCH_BASE + 100, DRAM_DEFAULT_SIZE), Region::Scratch);
+        assert_eq!(route(DRAM_BASE, DRAM_DEFAULT_SIZE), Region::Dram);
+        assert_eq!(route(DRAM_BASE + DRAM_DEFAULT_SIZE, DRAM_DEFAULT_SIZE), Region::Unmapped);
+        assert_eq!(route(0, DRAM_DEFAULT_SIZE), Region::Unmapped);
+    }
+
+    #[test]
+    fn tag_region() {
+        assert_eq!(tag_region_bytes(16 * 1024 * 1024), 512 * 1024);
+    }
+}

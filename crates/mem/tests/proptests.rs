@@ -1,0 +1,189 @@
+//! Property tests for the memory subsystem: functional state against a
+//! plain reference model, plus structural invariants of the coalescer and
+//! tag machinery.
+
+use cheri_cap::{CapMem, CapPipe};
+use proptest::prelude::*;
+use simt_mem::{CoalescingUnit, LaneRequest, MainMemory, Scratchpad, TagCacheConfig, TagController};
+use std::collections::HashMap;
+
+const BASE: u32 = 0x8000_0000;
+const SIZE: u32 = 4096;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { addr: u32, value: u32, width: u32 },
+    WriteCap { addr: u32, bits: u64, tag: bool },
+    Read { addr: u32, width: u32 },
+    ReadCap { addr: u32 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    let width = prop::sample::select(vec![1u32, 2, 4]);
+    prop_oneof![
+        (0..SIZE, any::<u32>(), width.clone()).prop_map(|(off, value, width)| MemOp::Write {
+            addr: BASE + (off & !(width - 1)).min(SIZE - width),
+            value,
+            width,
+        }),
+        (0..SIZE / 8, any::<u64>(), any::<bool>()).prop_map(|(slot, bits, tag)| {
+            MemOp::WriteCap { addr: BASE + slot * 8, bits, tag }
+        }),
+        (0..SIZE, width).prop_map(|(off, width)| MemOp::Read {
+            addr: BASE + (off & !(width - 1)).min(SIZE - width),
+            width,
+        }),
+        (0..SIZE / 8).prop_map(|slot| MemOp::ReadCap { addr: BASE + slot * 8 }),
+    ]
+}
+
+/// Byte-level reference model with a per-word tag map.
+#[derive(Default)]
+struct RefMem {
+    bytes: HashMap<u32, u8>,
+    tags: HashMap<u32, bool>, // keyed by word address
+}
+
+impl RefMem {
+    fn write(&mut self, addr: u32, value: u32, width: u32) {
+        for i in 0..width {
+            self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
+        }
+        self.tags.insert(addr & !3, false);
+    }
+
+    fn read(&self, addr: u32, width: u32) -> u32 {
+        (0..width).fold(0, |acc, i| {
+            acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u32) << (8 * i)
+        })
+    }
+
+    fn write_cap(&mut self, addr: u32, bits: u64, tag: bool) {
+        for i in 0..8 {
+            self.bytes.insert(addr + i, (bits >> (8 * i)) as u8);
+        }
+        self.tags.insert(addr, tag);
+        self.tags.insert(addr + 4, tag);
+    }
+
+    fn read_cap(&self, addr: u32) -> (u64, bool) {
+        let bits =
+            (0..8).fold(0u64, |acc, i| acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i));
+        let tag = *self.tags.get(&addr).unwrap_or(&false) && *self.tags.get(&(addr + 4)).unwrap_or(&false);
+        (bits, tag)
+    }
+}
+
+proptest! {
+    /// MainMemory matches the reference model under arbitrary mixed
+    /// data/capability traffic, including tag-clearing on data writes.
+    #[test]
+    fn main_memory_matches_reference(ops in prop::collection::vec(mem_op(), 1..200)) {
+        let mut mem = MainMemory::new(BASE, SIZE);
+        let mut reference = RefMem::default();
+        for op in ops {
+            match op {
+                MemOp::Write { addr, value, width } => {
+                    mem.write(addr, value, width).unwrap();
+                    reference.write(addr, value, width);
+                }
+                MemOp::WriteCap { addr, bits, tag } => {
+                    mem.write_cap(addr, CapMem::from_bits(bits, tag)).unwrap();
+                    reference.write_cap(addr, bits, tag);
+                }
+                MemOp::Read { addr, width } => {
+                    prop_assert_eq!(mem.read(addr, width).unwrap(), reference.read(addr, width));
+                }
+                MemOp::ReadCap { addr } => {
+                    let got = mem.read_cap(addr).unwrap();
+                    let (bits, tag) = reference.read_cap(addr);
+                    prop_assert_eq!(got.bits(), bits);
+                    prop_assert_eq!(got.tag(), tag);
+                }
+            }
+        }
+    }
+
+    /// Scratchpad data/capability storage matches the same reference model.
+    #[test]
+    fn scratchpad_matches_reference(ops in prop::collection::vec(mem_op(), 1..200)) {
+        const SBASE: u32 = 0x4000_0000;
+        let mut sp = Scratchpad::new(SBASE, SIZE, 8);
+        let mut reference = RefMem::default();
+        let reloc = |addr: u32| addr - BASE + SBASE;
+        for op in ops {
+            match op {
+                MemOp::Write { addr, value, width } => {
+                    sp.write(reloc(addr), value, width).unwrap();
+                    reference.write(reloc(addr), value, width);
+                }
+                MemOp::WriteCap { addr, bits, tag } => {
+                    sp.write_cap(reloc(addr), CapMem::from_bits(bits, tag)).unwrap();
+                    reference.write_cap(reloc(addr), bits, tag);
+                }
+                MemOp::Read { addr, width } => {
+                    prop_assert_eq!(
+                        sp.read(reloc(addr), width).unwrap(),
+                        reference.read(reloc(addr), width)
+                    );
+                }
+                MemOp::ReadCap { addr } => {
+                    let got = sp.read_cap(reloc(addr)).unwrap();
+                    let (bits, tag) = reference.read_cap(reloc(addr));
+                    prop_assert_eq!(got.bits(), bits);
+                    prop_assert_eq!(got.tag(), tag);
+                }
+            }
+        }
+    }
+
+    /// Coalescer invariants: between ceil(span/64) and lane-count
+    /// transactions; uniform accesses coalesce to exactly one.
+    #[test]
+    fn coalescer_invariants(addrs in prop::collection::vec(0u32..65536, 1..32)) {
+        let reqs: Vec<LaneRequest> =
+            addrs.iter().map(|&o| LaneRequest { addr: BASE + (o & !3), bytes: 4 }).collect();
+        let out = CoalescingUnit::new().coalesce(&reqs);
+        prop_assert!(out.transactions >= 1);
+        prop_assert!(out.transactions <= reqs.len() as u32);
+        let min_block = reqs.iter().map(|r| r.addr / 64).min().unwrap();
+        let max_block = reqs.iter().map(|r| r.addr / 64).max().unwrap();
+        prop_assert!(out.transactions <= (max_block - min_block + 1));
+        if reqs.iter().all(|r| r.addr == reqs[0].addr) {
+            prop_assert_eq!(out.transactions, 1);
+            prop_assert!(out.uniform);
+        }
+    }
+
+    /// The tag controller never reports more transactions than two per
+    /// lookup (fill + writeback) and its hit/miss counts add up.
+    #[test]
+    fn tag_controller_accounting(addrs in prop::collection::vec(0u32..(1 << 20), 1..300)) {
+        let mut tc = TagController::new(TagCacheConfig::default(), true);
+        let mut txns = 0u64;
+        for a in &addrs {
+            let t = tc.on_access(BASE + a, a % 3 == 0);
+            prop_assert!(t <= 2);
+            txns += t as u64;
+        }
+        let s = tc.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert_eq!(txns, s.misses + s.writebacks);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+
+    /// Capabilities stored through memory and reloaded decode to identical
+    /// bounds (memory is transparent to the capability layer).
+    #[test]
+    fn memory_is_transparent_to_capabilities(
+        base_addr in (0u32..SIZE / 2).prop_map(|o| BASE + (o & !7)),
+        target in any::<u32>(),
+        len in 0u32..1 << 16,
+    ) {
+        let mut mem = MainMemory::new(BASE, SIZE);
+        let (cap, _) = CapPipe::almighty().set_addr(target).set_bounds(len);
+        mem.write_cap(base_addr, cap.to_mem()).unwrap();
+        let back = CapPipe::from_mem(mem.read_cap(base_addr).unwrap());
+        prop_assert_eq!(back, cap);
+    }
+}

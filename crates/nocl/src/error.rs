@@ -1,0 +1,48 @@
+//! Launch errors.
+
+use cheri_simt::RunError;
+use core::fmt;
+use nocl_kir::CompileError;
+
+/// Why a kernel launch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The kernel failed to compile.
+    Compile(CompileError),
+    /// The launch configuration is invalid.
+    Config(String),
+    /// The kernel trapped or timed out.
+    Run(RunError),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::Compile(e) => write!(f, "compile error: {e}"),
+            LaunchError::Config(s) => write!(f, "launch configuration: {s}"),
+            LaunchError::Run(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LaunchError::Compile(e) => Some(e),
+            LaunchError::Run(e) => Some(e),
+            LaunchError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for LaunchError {
+    fn from(e: CompileError) -> Self {
+        LaunchError::Compile(e)
+    }
+}
+
+impl From<RunError> for LaunchError {
+    fn from(e: RunError) -> Self {
+        LaunchError::Run(e)
+    }
+}

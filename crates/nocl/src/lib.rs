@@ -1,0 +1,396 @@
+//! NoCL host runtime: buffers, argument marshalling, kernel launch.
+//!
+//! This crate plays the role of the NoCL library's host side (and of the
+//! CHERI-enabled host CPU of Figure 9): it owns the SM, allocates device
+//! buffers in simulated DRAM, marshals kernel arguments — *as tagged, bounded
+//! capabilities* in pure-capability mode — and launches compiled kernels.
+//!
+//! ```
+//! use cheri_simt::{CheriMode, CheriOpts, SmConfig};
+//! use nocl::{Gpu, Launch};
+//! use nocl_kir::{Elem, Expr, KernelBuilder, Mode};
+//!
+//! // c[i] = a[i] + b[i]
+//! let mut kb = KernelBuilder::new("vecadd");
+//! let len = kb.param_u32("len");
+//! let a = kb.param_ptr("a", Elem::I32);
+//! let b = kb.param_ptr("b", Elem::I32);
+//! let c = kb.param_ptr("c", Elem::I32);
+//! let i = kb.var_u32("i");
+//! kb.for_(i.clone(), kb.global_id(), len, kb.global_threads(), |k| {
+//!     k.store(&c, i.clone(), a.at(i.clone()) + b.at(i.clone()));
+//! });
+//! let kernel = kb.finish();
+//!
+//! let mut gpu = Gpu::new(SmConfig::small(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+//! let xs: Vec<i32> = (0..100).collect();
+//! let ys: Vec<i32> = (0..100).map(|v| 10 * v).collect();
+//! let a = gpu.alloc_from(&xs);
+//! let b = gpu.alloc_from(&ys);
+//! let c = gpu.alloc::<i32>(100);
+//! let stats = gpu
+//!     .launch(&kernel, Launch::new(2, 32), &[100u32.into(), (&a).into(), (&b).into(), (&c).into()])
+//!     .unwrap();
+//! assert_eq!(gpu.read(&c)[7], 77);
+//! assert!(stats.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod buffer;
+mod error;
+
+pub use array::WordScalar;
+pub use buffer::{Buffer, DeviceScalar};
+pub use error::LaunchError;
+
+use cheri_cap::{CapPipe, Perms};
+use cheri_simt::{KernelStats, Sm, SmConfig};
+use nocl_kir::{compile_capped, ArgSlot, CompiledKernel, Kernel, MemPlan, Mode};
+use simt_isa::scr;
+use simt_mem::map;
+use std::collections::HashMap;
+
+/// Launch geometry: `<<<grid_dim, block_dim>>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Number of thread blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Watchdog limit in cycles.
+    pub max_cycles: u64,
+}
+
+impl Launch {
+    /// A launch with the default watchdog (500M cycles).
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        Launch { grid_dim, block_dim, max_cycles: 500_000_000 }
+    }
+}
+
+/// A kernel argument value.
+#[derive(Debug, Clone, Copy)]
+pub enum Arg {
+    /// A 32-bit scalar (any of u32/i32/f32, as raw bits).
+    Scalar(u32),
+    /// A device buffer: address and length in elements.
+    Buf {
+        /// Device address.
+        addr: u32,
+        /// Length in elements.
+        len: u32,
+        /// Element size in bytes.
+        elem_bytes: u32,
+    },
+}
+
+impl From<u32> for Arg {
+    fn from(v: u32) -> Arg {
+        Arg::Scalar(v)
+    }
+}
+
+impl From<i32> for Arg {
+    fn from(v: i32) -> Arg {
+        Arg::Scalar(v as u32)
+    }
+}
+
+impl From<f32> for Arg {
+    fn from(v: f32) -> Arg {
+        Arg::Scalar(v.to_bits())
+    }
+}
+
+impl<T: DeviceScalar> From<&Buffer<T>> for Arg {
+    fn from(b: &Buffer<T>) -> Arg {
+        Arg::Buf { addr: b.addr(), len: b.len(), elem_bytes: T::ELEM.bytes() }
+    }
+}
+
+/// The GPU: an SM plus host-side memory management.
+#[derive(Debug)]
+pub struct Gpu {
+    sm: Sm,
+    mode: Mode,
+    plan: MemPlan,
+    heap: u32,
+    heap_end: u32,
+    cache: HashMap<(String, Mode), CompiledKernel>,
+    cap_reg_limit: Option<u32>,
+}
+
+impl Gpu {
+    /// Create a GPU. The SM's CHERI mode must agree with the compilation
+    /// mode (`PureCap` needs CHERI; the other modes must run without it so
+    /// the baseline is honest).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mode/configuration mismatch.
+    pub fn new(cfg: SmConfig, mode: Mode) -> Gpu {
+        assert_eq!(
+            cfg.cheri.enabled(),
+            mode.needs_cheri(),
+            "SM CHERI mode must match the compilation mode"
+        );
+        let usable = cfg.dram_size - map::tag_region_bytes(cfg.dram_size);
+        let plan = MemPlan {
+            arg_base: map::DRAM_BASE,
+            stack_top: map::DRAM_BASE + usable,
+            stack_size: 512,
+        };
+        let stack_arena = cfg.threads() * plan.stack_size;
+        let heap = map::DRAM_BASE + 4096; // first page: argument block
+        let heap_end = plan.stack_top - stack_arena;
+        assert!(heap < heap_end, "DRAM too small for stacks");
+        Gpu { sm: Sm::new(cfg), mode, plan, heap, heap_end, cache: HashMap::new(), cap_reg_limit: None }
+    }
+
+    /// Enable the §4.3 capability-register limit: pure-capability kernels
+    /// are compiled so that only registers below `limit` ever hold
+    /// capabilities, allowing a metadata SRF of `limit` entries (halving
+    /// the 14% storage overhead to 7% at `limit = 16`).
+    pub fn with_cap_reg_limit(mut self, limit: u32) -> Self {
+        assert!(limit >= 4 && limit <= 32, "limit out of range");
+        self.cap_reg_limit = Some(limit);
+        self.cache.clear();
+        self
+    }
+
+    /// The compilation mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The underlying SM (e.g. for reading statistics or memory).
+    pub fn sm(&self) -> &Sm {
+        &self.sm
+    }
+
+    /// Mutable access to the underlying SM.
+    pub fn sm_mut(&mut self) -> &mut Sm {
+        &mut self.sm
+    }
+
+    /// Bytes of device heap remaining.
+    pub fn heap_remaining(&self) -> u32 {
+        self.heap_end - self.heap
+    }
+
+    /// Allocate an uninitialised (zeroed) device buffer of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn alloc<T: DeviceScalar>(&mut self, len: u32) -> Buffer<T> {
+        let bytes = (len * T::ELEM.bytes()).next_multiple_of(64);
+        assert!(self.heap + bytes <= self.heap_end, "device heap exhausted");
+        let addr = self.heap;
+        self.heap += bytes;
+        Buffer::new(addr, len)
+    }
+
+    /// Allocate and initialise a buffer from host data.
+    pub fn alloc_from<T: DeviceScalar>(&mut self, data: &[T]) -> Buffer<T> {
+        let b = self.alloc::<T>(data.len() as u32);
+        self.write(&b, data);
+        b
+    }
+
+    /// Free a buffer with a revocation sweep: every capability anywhere in
+    /// device memory whose bounds intersect the buffer loses its tag, so
+    /// stale references trap deterministically on next use (use-after-free
+    /// prevention — the temporal-safety direction the paper's Section 4.2
+    /// points to). The heap is a bump allocator, so the space itself is not
+    /// reused; what matters is that dangling capabilities die.
+    ///
+    /// Returns the number of revoked capabilities. A no-op outside
+    /// pure-capability mode (there are no tags to sweep).
+    pub fn free<T: DeviceScalar>(&mut self, buf: Buffer<T>) -> u32 {
+        self.sm.memory_mut().revoke_region(buf.addr(), buf.bytes())
+    }
+
+    /// Copy host data into a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the buffer.
+    pub fn write<T: DeviceScalar>(&mut self, buf: &Buffer<T>, data: &[T]) {
+        assert!(data.len() as u32 <= buf.len(), "host data exceeds buffer");
+        let mut bytes = Vec::with_capacity(data.len() * T::ELEM.bytes() as usize);
+        for v in data {
+            v.extend_bytes(&mut bytes);
+        }
+        self.sm.memory_mut().write_bytes(buf.addr(), &bytes);
+    }
+
+    /// Read a buffer back to the host.
+    pub fn read<T: DeviceScalar>(&self, buf: &Buffer<T>) -> Vec<T> {
+        let sz = T::ELEM.bytes();
+        let bytes = self.sm.memory().read_bytes(buf.addr(), buf.len() * sz);
+        bytes.chunks_exact(sz as usize).map(T::from_bytes).collect()
+    }
+
+    /// Compile (with caching), marshal arguments, and run a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Fails on compile errors, invalid geometry, argument mismatches, or a
+    /// runtime trap/timeout.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: Launch,
+        args: &[Arg],
+    ) -> Result<KernelStats, LaunchError> {
+        let cfg = *self.sm.config();
+        let lanes = cfg.lanes;
+        if launch.grid_dim == 0 || launch.block_dim == 0 {
+            return Err(LaunchError::Config("grid and block must be non-empty".into()));
+        }
+        if launch.block_dim > cfg.threads() {
+            return Err(LaunchError::Config(format!(
+                "block of {} threads exceeds the SM's {}",
+                launch.block_dim,
+                cfg.threads()
+            )));
+        }
+        let block_ok = if launch.block_dim >= lanes {
+            launch.block_dim % lanes == 0
+        } else {
+            lanes % launch.block_dim == 0
+        };
+        if !block_ok {
+            return Err(LaunchError::Config(format!(
+                "block dim {} must tile the {}-lane warps",
+                launch.block_dim, lanes
+            )));
+        }
+        if args.len() != kernel.params.len() {
+            return Err(LaunchError::Config(format!(
+                "kernel {} takes {} arguments, got {}",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+
+        let key = (kernel.name.clone(), self.mode);
+        let compiled = match self.cache.get(&key) {
+            Some(c) => c.clone(),
+            None => {
+                let c = compile_capped(kernel, self.mode, self.plan, self.cap_reg_limit)?;
+                self.cache.insert(key, c.clone());
+                c
+            }
+        };
+
+        // Shared memory must fit every concurrently-resident block.
+        let blocks_per_sm = cfg.threads() / launch.block_dim.min(cfg.threads());
+        if compiled.shared_bytes * blocks_per_sm > map::SCRATCH_SIZE {
+            return Err(LaunchError::Config(format!(
+                "{} bytes of shared memory x {} resident blocks exceeds the scratchpad",
+                compiled.shared_bytes, blocks_per_sm
+            )));
+        }
+
+        // GPUShield comparator mode: assign region ids and install the
+        // bounds table (it cannot change during execution — Figure 15).
+        let shield_ids: Vec<u32> = if self.mode == Mode::GpuShield {
+            let mut regions = Vec::new();
+            let mut ids = vec![0u32; args.len()];
+            for (i, a) in args.iter().enumerate() {
+                if let Arg::Buf { addr, len, elem_bytes } = a {
+                    if regions.len() >= cheri_simt::shield::MAX_REGIONS {
+                        return Err(LaunchError::Config(
+                            "GPUShield bounds table supports only 15 buffers".into(),
+                        ));
+                    }
+                    regions.push((*addr, len * elem_bytes));
+                    ids[i] = regions.len() as u32;
+                }
+            }
+            self.sm.set_bounds_table(Some(cheri_simt::shield::BoundsTable::new(regions)));
+            ids
+        } else {
+            self.sm.set_bounds_table(None);
+            vec![0; args.len()]
+        };
+
+        // Marshal the argument block.
+        self.write_args(&compiled, launch, args, &shield_ids)?;
+
+        // Special capability registers for pure-capability kernels.
+        if self.mode == Mode::PureCap {
+            let data = |base: u32, len: u32| {
+                let (c, _) = CapPipe::almighty()
+                    .and_perm(Perms::data())
+                    .set_addr(base)
+                    .set_bounds(len);
+                c.to_mem()
+            };
+            self.sm.set_scr(scr::ARG, data(self.plan.arg_base, compiled.layout.size));
+            let stack_arena = cfg.threads() * self.plan.stack_size;
+            self.sm.set_scr(scr::STACK, data(self.plan.stack_top - stack_arena, stack_arena));
+            self.sm.set_scr(scr::SHARED, data(map::SCRATCH_BASE, map::SCRATCH_SIZE));
+            self.sm.set_scr(scr::GLOBAL, CapPipe::almighty().and_perm(Perms::data()).to_mem());
+        }
+
+        self.sm.load_program(&compiled.words);
+        let stack_arena = cfg.threads() * self.plan.stack_size;
+        self.sm.set_stack_region(self.plan.stack_top - stack_arena, stack_arena);
+        self.sm.set_block_warps((launch.block_dim / lanes).max(1));
+        self.sm.reset();
+        Ok(self.sm.run(launch.max_cycles)?)
+    }
+
+    fn write_args(
+        &mut self,
+        compiled: &CompiledKernel,
+        launch: Launch,
+        args: &[Arg],
+        shield_ids: &[u32],
+    ) -> Result<(), LaunchError> {
+        let base = self.plan.arg_base;
+        let mem = self.sm.memory_mut();
+        mem.write(base, launch.grid_dim, 4).expect("arg block in DRAM");
+        mem.write(base + 4, launch.block_dim, 4).expect("arg block in DRAM");
+        for (i, (slot, arg)) in compiled.layout.slots.iter().zip(args).enumerate() {
+            let off = base + slot.offset();
+            match (slot, arg) {
+                (ArgSlot::Scalar { .. }, Arg::Scalar(v)) => {
+                    mem.write(off, *v, 4).expect("arg block");
+                }
+                (ArgSlot::PtrRaw { .. }, Arg::Buf { addr, .. }) => {
+                    let tagged = if shield_ids[i] != 0 {
+                        cheri_simt::shield::BoundsTable::tag(*addr, shield_ids[i])
+                    } else {
+                        *addr
+                    };
+                    mem.write(off, tagged, 4).expect("arg block");
+                }
+                (ArgSlot::PtrFat { .. }, Arg::Buf { addr, len, .. }) => {
+                    mem.write(off, *addr, 4).expect("arg block");
+                    mem.write(off + 4, *len, 4).expect("arg block");
+                }
+                (ArgSlot::PtrCap { .. }, Arg::Buf { addr, len, elem_bytes }) => {
+                    let (cap, _) = CapPipe::almighty()
+                        .and_perm(Perms::data())
+                        .set_addr(*addr)
+                        .set_bounds(len * elem_bytes);
+                    mem.write_cap(off, cap.to_mem()).expect("arg block");
+                }
+                (slot, arg) => {
+                    return Err(LaunchError::Config(format!(
+                        "argument {i}: {arg:?} does not fit parameter slot {slot:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,312 @@
+//! Differential testing: random kernels are run through every compilation
+//! mode on the SM and compared against a direct interpreter of the kernel
+//! IR. Any divergence — in the code generator, the SM's execute units, the
+//! register-file compression, divergence handling, or the memory subsystem
+//! — shows up as a mismatch.
+//!
+//! Generated kernels read arbitrarily (masked in-bounds gathers from an
+//! input buffer) but write only `out[global_id]`, so the reference result
+//! is independent of thread interleaving.
+
+use cheri_simt::{CheriMode, CheriOpts, SmConfig};
+use nocl::{Gpu, Launch};
+use nocl_kir::{BinOp, CmpOp, Elem, Expr, Kernel, KernelBuilder, Mode, Stmt, Ty, UnOp};
+use proptest::prelude::*;
+
+const N_IN: u32 = 64; // input buffer length (power of two, for masking)
+const THREADS: u32 = 64; // one block over the whole (small) SM
+const N_VARS: usize = 3;
+/// Loop counters live above the assignable variables (one per nesting
+/// depth) so a random assignment can never perturb a loop's termination.
+const N_LOOPVARS: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Random kernel generation
+// ---------------------------------------------------------------------------
+
+/// Expression generator. All values are U32; the `in` buffer is Param(1),
+/// scalar parameter is Param(0). Loads are masked into bounds.
+fn expr_strategy(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u32..1000).prop_map(Expr::u32),
+        Just(Expr::Special(nocl_kir::Special::ThreadIdx)),
+        Just(Expr::Param(0, Ty::U32)),
+        (0..N_VARS).prop_map(|v| Expr::Var(v, Ty::U32)),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = expr_strategy(depth - 1);
+    let bin = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Cmp(CmpOp::Eq)),
+        Just(BinOp::Cmp(CmpOp::Ne)),
+        Just(BinOp::Cmp(CmpOp::Lt)),
+        Just(BinOp::Cmp(CmpOp::Le)),
+        Just(BinOp::Cmp(CmpOp::Gt)),
+        Just(BinOp::Cmp(CmpOp::Ge)),
+    ];
+    prop_oneof![
+        4 => sub.clone().prop_flat_map(move |a| {
+            let bin = bin.clone();
+            (bin, Just(a), expr_strategy(depth - 1))
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+        }),
+        1 => sub.clone().prop_map(|a| Expr::Un(UnOp::Not, Box::new(a))),
+        2 => sub.clone().prop_map(|idx| {
+            // in[idx & (N_IN-1)]
+            let masked = Expr::Bin(BinOp::And, Box::new(idx), Box::new(Expr::u32(N_IN - 1)));
+            Expr::Load(Box::new(Expr::Param(1, Ty::Ptr(Elem::U32))), Box::new(masked))
+        }),
+        1 => leaf,
+    ]
+    .boxed()
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Vec<Stmt>> {
+    let assign = (0..N_VARS, expr_strategy(2))
+        .prop_map(|(v, e)| Stmt::Assign(v, e))
+        .boxed();
+    let base = prop::collection::vec(assign.clone(), 1..4).boxed();
+    if depth == 0 {
+        return base;
+    }
+    let nested = stmt_strategy(depth - 1);
+    let if_stmt = (expr_strategy(2), nested.clone(), nested.clone())
+        .prop_map(|(cond, then_, else_)| Stmt::If { cond, then_, else_ });
+    let loop_var = N_VARS + depth as usize - 1;
+    let loop_stmt = (Just(loop_var), 1u32..6, 1u32..3, nested)
+        .prop_map(|(v, trips, step, mut body)| {
+            // for v = 0; v < trips*step; v += step { body }
+            body.push(Stmt::Assign(
+                v,
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var(v, Ty::U32)),
+                    Box::new(Expr::u32(step)),
+                ),
+            ));
+            vec![
+                Stmt::Assign(v, Expr::u32(0)),
+                Stmt::While {
+                    cond: Expr::Var(v, Ty::U32).lt(Expr::u32(trips * step)),
+                    body,
+                },
+            ]
+        })
+        .boxed();
+    prop::collection::vec(
+        prop_oneof![3 => assign.prop_map(|s| vec![s]), 1 => if_stmt.prop_map(|s| vec![s]), 1 => loop_stmt],
+        1..4,
+    )
+    .prop_map(|blocks| blocks.into_iter().flatten().collect())
+    .boxed()
+}
+
+/// Wrap a generated body into a complete kernel writing `out[gid]`.
+fn make_kernel(body: Vec<Stmt>) -> Kernel {
+    let mut k = KernelBuilder::new("diff");
+    let _scalar = k.param_u32("s");
+    let _input = k.param_ptr("in", Elem::U32);
+    let out = k.param_ptr("out", Elem::U32);
+    let vars: Vec<Expr> = (0..N_VARS + N_LOOPVARS).map(|i| k.var_u32(&format!("v{i}"))).collect();
+    // Seed the assignable variables from the thread id so lanes diverge.
+    for (i, v) in vars.iter().take(N_VARS).enumerate() {
+        k.assign(v, k.thread_idx() * Expr::u32(i as u32 + 1));
+    }
+    let mut kernel = k.finish();
+    kernel.body.extend(body);
+    // out[gid] = v0 ^ v1 ^ v2
+    let result = vars
+        .iter()
+        .take(N_VARS)
+        .cloned()
+        .reduce(|a, b| Expr::Bin(BinOp::Xor, Box::new(a), Box::new(b)))
+        .unwrap();
+    kernel.body.push(Stmt::Store {
+        ptr: out,
+        index: Expr::Special(nocl_kir::Special::ThreadIdx),
+        value: result,
+    });
+    kernel
+}
+
+// ---------------------------------------------------------------------------
+// Reference interpreter
+// ---------------------------------------------------------------------------
+
+struct Interp<'a> {
+    scalar: u32,
+    input: &'a [u32],
+    tid: u32,
+    vars: [u32; N_VARS + N_LOOPVARS],
+    /// Fuel guards against generated infinite loops (the generator only
+    /// emits bounded loops, but belt and braces).
+    fuel: u64,
+}
+
+impl Interp<'_> {
+    fn eval(&mut self, e: &Expr) -> u32 {
+        match e {
+            Expr::Int(v, _) => *v as u32,
+            Expr::Special(nocl_kir::Special::ThreadIdx) => self.tid,
+            Expr::Special(_) => unreachable!("generator emits only ThreadIdx"),
+            Expr::Param(0, _) => self.scalar,
+            Expr::Var(i, _) => self.vars[*i],
+            Expr::Un(UnOp::Not, a) => !self.eval(a),
+            Expr::Load(_, idx) => {
+                let i = self.eval(idx);
+                self.input[i as usize]
+            }
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (self.eval(a), self.eval(b));
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            u32::MAX
+                        } else {
+                            x / y
+                        }
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            x
+                        } else {
+                            x % y
+                        }
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl(y & 31),
+                    BinOp::Shr => x.wrapping_shr(y & 31),
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Cmp(c) => {
+                        let r = match c {
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                        };
+                        r as u32
+                    }
+                }
+            }
+            other => unreachable!("generator does not emit {other:?}"),
+        }
+    }
+
+    fn run(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.fuel = self.fuel.saturating_sub(1);
+            if self.fuel == 0 {
+                panic!("interpreter out of fuel");
+            }
+            match s {
+                Stmt::Assign(v, e) => self.vars[*v] = self.eval(e),
+                Stmt::If { cond, then_, else_ } => {
+                    if self.eval(cond) != 0 {
+                        self.run(then_);
+                    } else {
+                        self.run(else_);
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.eval(cond) != 0 {
+                        self.fuel = self.fuel.saturating_sub(1);
+                        if self.fuel == 0 {
+                            panic!("interpreter out of fuel");
+                        }
+                        self.run(body);
+                    }
+                }
+                Stmt::Store { .. } => {} // only the final store, handled below
+                other => unreachable!("generator does not emit {other:?}"),
+            }
+        }
+    }
+}
+
+fn reference(kernel_body: &[Stmt], scalar: u32, input: &[u32]) -> Vec<u32> {
+    (0..THREADS)
+        .map(|tid| {
+            let mut it = Interp {
+                scalar,
+                input,
+                tid,
+                vars: [tid, tid * 2, tid * 3, 0, 0, 0],
+                fuel: 1_000_000,
+            };
+            // Skip the 3 seeding assigns (vars pre-seeded above) and the
+            // final store; run everything in between.
+            let inner = &kernel_body[N_VARS..kernel_body.len() - 1];
+            it.run(inner);
+            it.vars.iter().take(N_VARS).fold(0, |a, b| a ^ b)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The differential property
+// ---------------------------------------------------------------------------
+
+fn run_mode(kernel: &Kernel, mode: Mode, scalar: u32, input: &[u32]) -> Vec<u32> {
+    let cheri = if mode.needs_cheri() {
+        CheriMode::On(CheriOpts::optimised())
+    } else {
+        CheriMode::Off
+    };
+    let mut gpu = Gpu::new(SmConfig::small(cheri), mode);
+    let d_in = gpu.alloc_from(input);
+    let d_out = gpu.alloc::<u32>(THREADS);
+    gpu.launch(
+        kernel,
+        Launch::new(1, THREADS),
+        &[scalar.into(), (&d_in).into(), (&d_out).into()],
+    )
+    .unwrap_or_else(|e| panic!("{mode:?}: {e}\nkernel: {:#?}", kernel.body));
+    gpu.read(&d_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_modes_match_the_interpreter(
+        body in stmt_strategy(2),
+        scalar in 0u32..100,
+        seed in any::<u64>(),
+    ) {
+        let input: Vec<u32> = (0..N_IN as u64)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 0x5851_F42D)
+                >> 13) as u32)
+            .collect();
+        let kernel = make_kernel(body);
+        let want = reference(&kernel.body, scalar, &input);
+        for mode in [Mode::Baseline, Mode::PureCap, Mode::RustChecked, Mode::RustFull] {
+            let got = run_mode(&kernel, mode, scalar, &input);
+            prop_assert_eq!(
+                &got, &want,
+                "mode {:?} diverged from the interpreter\nkernel: {:#?}",
+                mode, kernel.body
+            );
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! SIMTight's compressed register files, extended for CHERI (Sections 3.1
+//! and 3.2 of the paper).
+//!
+//! A streaming multiprocessor holds `32 × warps` architectural *vector*
+//! registers (each thread's scalar register is one element of a warp-wide
+//! vector). The compressed register file exploits inter-thread *value
+//! regularity*:
+//!
+//! * A **scalar register file (SRF)** holds one entry per architectural
+//!   vector register: either a compact `base + stride` pair (uniform when
+//!   the stride is zero, affine otherwise) or a pointer into the VRF.
+//! * A size-constrained **vector register file (VRF)** holds the vectors
+//!   that cannot be compressed, allocated on demand from a free stack.
+//!   When the free stack runs dry the pipeline spills a vector register to
+//!   main memory and fills it back on demand.
+//!
+//! For CHERI, a second compressed register file holds the 33-bit capability
+//! *metadata* (Section 3.2). It detects only uniform vectors (a stride makes
+//! no sense for metadata), optionally shares its VRF with the data register
+//! file, and supports the **null-value optimisation (NVO)**: an SRF entry
+//! may carry a lane mask marking which elements are the constant null
+//! metadata, so a uniform metadata vector partially overwritten with nulls
+//! (or vice versa) stays scalar.
+//!
+//! # Example
+//!
+//! ```
+//! use simt_regfile::{CompressedRegFile, RfConfig};
+//!
+//! let mut rf = CompressedRegFile::new(RfConfig::data(4, 8, 8));
+//! // An affine vector (thread indices) compresses into the SRF.
+//! let tid: Vec<u64> = (0..8).collect();
+//! rf.write(0, 5, &tid, u64::MAX);
+//! assert_eq!(rf.vrf_resident(), 0);
+//! let mut out = [0u64; 8];
+//! rf.read(0, 5, &mut out);
+//! assert_eq!(&out[..], &tid[..]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod storage;
+
+pub use storage::{uncompressed_bits, RegFileStorage, SrfEntryBits};
+
+/// Configuration of one compressed register file.
+#[derive(Debug, Clone, Copy)]
+pub struct RfConfig {
+    /// Number of warps.
+    pub warps: u32,
+    /// Threads per warp (vector lanes).
+    pub lanes: u32,
+    /// Architectural registers per thread (32 for RV32).
+    pub arch_regs: u32,
+    /// Capacity of the vector register file, in vector slots.
+    pub vrf_slots: u32,
+    /// Detect affine (base+stride) vectors, not just uniform ones.
+    pub detect_affine: bool,
+    /// Null-value optimisation: treat this element value as "null" and keep
+    /// partially-null uniform vectors in the SRF under a lane mask.
+    pub null_value: Option<u64>,
+    /// Element width in bits (32 for data, 33 for capability metadata) —
+    /// used for storage accounting only.
+    pub elem_bits: u32,
+    /// Number of identical SRF copies (2 for the baseline's three read
+    /// ports, 1 for the halved-port metadata SRF).
+    pub srf_copies: u32,
+}
+
+impl RfConfig {
+    /// The baseline data register file: uniform+affine detection, duplicated
+    /// SRF, 32-bit elements.
+    pub fn data(warps: u32, lanes: u32, vrf_slots: u32) -> Self {
+        RfConfig {
+            warps,
+            lanes,
+            arch_regs: 32,
+            vrf_slots,
+            detect_affine: true,
+            null_value: None,
+            elem_bits: 32,
+            srf_copies: 2,
+        }
+    }
+
+    /// The capability-metadata register file: uniform detection only,
+    /// single-copy SRF (CSC pays an extra cycle), 33-bit elements, optional
+    /// NVO.
+    pub fn meta(warps: u32, lanes: u32, vrf_slots: u32, nvo: bool) -> Self {
+        RfConfig {
+            warps,
+            lanes,
+            arch_regs: 32,
+            vrf_slots,
+            detect_affine: false,
+            null_value: nvo.then_some(NULL_META),
+            elem_bits: 33,
+            srf_copies: 1,
+        }
+    }
+
+    /// Override the number of architectural registers the file must cover
+    /// (the §4.3 forecast: with compiler support confining capabilities to
+    /// 16 registers, the metadata SRF halves).
+    pub fn with_arch_regs(mut self, arch_regs: u32) -> Self {
+        self.arch_regs = arch_regs;
+        self
+    }
+
+    /// Total architectural vector registers.
+    pub fn total_regs(&self) -> u32 {
+        self.warps * self.arch_regs
+    }
+}
+
+/// The metadata value of the null capability, as stored in the 33-bit
+/// metadata register file (tag bit 32 clear, all fields zero).
+pub const NULL_META: u64 = 0;
+
+/// Maximum supported lane count.
+pub const MAX_LANES: usize = 64;
+
+/// Strides representable in the SRF's 6-bit signed stride field.
+const STRIDE_MIN: i64 = -32;
+const STRIDE_MAX: i64 = 31;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    /// `base + lane * stride` (stride 0 = uniform).
+    Scalar { base: u64, stride: i8 },
+    /// NVO: lanes in `mask` hold `value`; the rest hold the null value.
+    PartialNull { value: u64, mask: u64 },
+    /// Uncompressed, resident in the VRF.
+    Vector { slot: u32 },
+    /// Uncompressed, spilled to main memory (contents kept functionally).
+    Spilled(Vec<u64>),
+}
+
+/// Cumulative register-file statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RfStats {
+    /// Vector registers spilled to memory (VRF overflow).
+    pub spills: u64,
+    /// Vector registers filled back from memory.
+    pub fills: u64,
+    /// Writes that landed compactly in the SRF.
+    pub scalar_writes: u64,
+    /// Writes that required a VRF slot.
+    pub vector_writes: u64,
+    /// Peak number of VRF-resident vectors.
+    pub peak_resident: u32,
+}
+
+/// Result of a read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadInfo {
+    /// The operand came from the VRF (uncompressed).
+    pub from_vrf: bool,
+    /// Fills (and chained spills) triggered to bring the operand back.
+    pub fills: u32,
+    /// Spills triggered to make room for the fill.
+    pub spills: u32,
+}
+
+/// Result of a write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteInfo {
+    /// The result was stored compactly in the SRF.
+    pub to_srf: bool,
+    /// Spills triggered (VRF overflow).
+    pub spills: u32,
+    /// Fills triggered (partial write to a spilled register).
+    pub fills: u32,
+}
+
+/// One compressed register file (Figure 5).
+#[derive(Debug, Clone)]
+pub struct CompressedRegFile {
+    cfg: RfConfig,
+    entries: Vec<Entry>,
+    /// VRF backing store, `vrf_slots × lanes` elements.
+    vrf: Vec<u64>,
+    /// Free stack of VRF slots.
+    free: Vec<u32>,
+    /// Round-robin spill victim cursor (over architectural registers).
+    victim: usize,
+    resident: u32,
+    stats: RfStats,
+    /// Per-warp bitmask of architectural registers that ever held a
+    /// non-null element (drives Figure 11 for the metadata register file).
+    ever_nonnull: Vec<u32>,
+}
+
+impl CompressedRegFile {
+    /// Create a register file with all registers reading as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane count exceeds [`MAX_LANES`].
+    pub fn new(cfg: RfConfig) -> Self {
+        assert!(cfg.lanes as usize <= MAX_LANES, "too many lanes");
+        assert!(cfg.srf_copies >= 1);
+        CompressedRegFile {
+            cfg,
+            entries: vec![Entry::Scalar { base: 0, stride: 0 }; cfg.total_regs() as usize],
+            vrf: vec![0; (cfg.vrf_slots * cfg.lanes) as usize],
+            free: (0..cfg.vrf_slots).rev().collect(),
+            victim: 0,
+            resident: 0,
+            stats: RfStats::default(),
+            ever_nonnull: vec![0; cfg.warps as usize],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RfConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> RfStats {
+        self.stats
+    }
+
+    /// Number of vectors currently resident in the VRF.
+    pub fn vrf_resident(&self) -> u32 {
+        self.resident
+    }
+
+    /// Highest number of architectural registers (out of `arch_regs`) that
+    /// ever simultaneously held a non-null element in some warp. For the
+    /// metadata register file this is "registers used to hold capabilities"
+    /// (Figure 11).
+    pub fn max_nonnull_regs(&self) -> u32 {
+        self.ever_nonnull.iter().map(|m| m.count_ones()).max().unwrap_or(0)
+    }
+
+    /// Union over all warps of the registers that ever held a non-null
+    /// element, as a bitmask (bit *r* = architectural register *r*). Used
+    /// to verify the §4.3 capability-register-limit forecast.
+    pub fn nonnull_mask_union(&self) -> u32 {
+        self.ever_nonnull.iter().fold(0, |a, m| a | m)
+    }
+
+    /// Storage accounting for this configuration.
+    pub fn storage(&self) -> RegFileStorage {
+        RegFileStorage::for_config(&self.cfg)
+    }
+
+    #[inline]
+    fn idx(&self, warp: u32, reg: u32) -> usize {
+        debug_assert!(warp < self.cfg.warps && reg < self.cfg.arch_regs);
+        (warp * self.cfg.arch_regs + reg) as usize
+    }
+
+    fn expand_into(&self, e: &Entry, out: &mut [u64]) {
+        let lanes = self.cfg.lanes as usize;
+        match *e {
+            Entry::Scalar { base, stride: 0 } => out[..lanes].fill(base),
+            Entry::Scalar { base, stride } => {
+                // Affine vectors only arise in the 32-bit data register
+                // file; the lane values advance modulo 2^32.
+                for (i, o) in out[..lanes].iter_mut().enumerate() {
+                    *o = (base as u32).wrapping_add((stride as i32 * i as i32) as u32) as u64;
+                }
+            }
+            Entry::PartialNull { value, mask } => {
+                let null = self.cfg.null_value.unwrap_or(0);
+                for (i, o) in out[..lanes].iter_mut().enumerate() {
+                    *o = if mask >> i & 1 == 1 { value } else { null };
+                }
+            }
+            Entry::Vector { slot } => {
+                let s = (slot * self.cfg.lanes) as usize;
+                out[..lanes].copy_from_slice(&self.vrf[s..s + lanes]);
+            }
+            Entry::Spilled(ref data) => out[..lanes].copy_from_slice(data),
+        }
+    }
+
+    /// Try to compress a full vector into an SRF entry.
+    fn compress(&self, v: &[u64]) -> Option<Entry> {
+        let base = v[0];
+        if v.iter().all(|&x| x == base) {
+            return Some(Entry::Scalar { base, stride: 0 });
+        }
+        if self.cfg.detect_affine && v.len() >= 2 {
+            // 32-bit data domain: stride comparisons wrap modulo 2^32.
+            let stride = (v[1] as u32).wrapping_sub(v[0] as u32) as i32 as i64;
+            if (STRIDE_MIN..=STRIDE_MAX).contains(&stride)
+                && v.windows(2)
+                    .all(|w| (w[1] as u32).wrapping_sub(w[0] as u32) as i32 as i64 == stride)
+            {
+                return Some(Entry::Scalar { base, stride: stride as i8 });
+            }
+        }
+        if let Some(null) = self.cfg.null_value {
+            let nonnull: Vec<u64> = v.iter().copied().filter(|&x| x != null).collect();
+            if let Some(&value) = nonnull.first() {
+                if nonnull.iter().all(|&x| x == value) {
+                    let mut mask = 0u64;
+                    for (i, &x) in v.iter().enumerate() {
+                        if x != null {
+                            mask |= 1 << i;
+                        }
+                    }
+                    return Some(Entry::PartialNull { value, mask });
+                }
+            }
+        }
+        None
+    }
+
+    /// Pick a VRF-resident victim (round-robin) and spill it.
+    fn spill_one(&mut self) -> bool {
+        let total = self.entries.len();
+        for _ in 0..total {
+            let i = self.victim;
+            self.victim = (self.victim + 1) % total;
+            if let Entry::Vector { slot } = self.entries[i] {
+                let lanes = self.cfg.lanes as usize;
+                let s = (slot * self.cfg.lanes) as usize;
+                let data = self.vrf[s..s + lanes].to_vec();
+                self.entries[i] = Entry::Spilled(data);
+                self.free.push(slot);
+                self.resident -= 1;
+                self.stats.spills += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Allocate a VRF slot, spilling if necessary. Returns (slot, spills).
+    fn alloc_slot(&mut self) -> (u32, u32) {
+        let mut spills = 0;
+        if self.free.is_empty() {
+            assert!(self.spill_one(), "VRF exhausted with nothing to spill");
+            spills += 1;
+        }
+        let slot = self.free.pop().expect("slot after spill");
+        self.resident += 1;
+        self.stats.peak_resident = self.stats.peak_resident.max(self.resident);
+        (slot, spills)
+    }
+
+    /// Ensure the entry at `idx` is VRF-resident; returns (fills, spills).
+    fn fill(&mut self, idx: usize) -> (u32, u32) {
+        if let Entry::Spilled(data) = self.entries[idx].clone() {
+            let (slot, spills) = self.alloc_slot();
+            let lanes = self.cfg.lanes as usize;
+            let s = (slot * self.cfg.lanes) as usize;
+            self.vrf[s..s + lanes].copy_from_slice(&data);
+            self.entries[idx] = Entry::Vector { slot };
+            self.stats.fills += 1;
+            (1, spills)
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// Read a full vector register into `out` (one element per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the lane count.
+    pub fn read(&mut self, warp: u32, reg: u32, out: &mut [u64]) -> ReadInfo {
+        let idx = self.idx(warp, reg);
+        let (fills, spills) = self.fill(idx);
+        let e = &self.entries[idx];
+        let from_vrf = matches!(e, Entry::Vector { .. });
+        let e = e.clone();
+        self.expand_into(&e, out);
+        ReadInfo { from_vrf, fills, spills }
+    }
+
+    /// Peek at a register without touching spill state (host/debug use).
+    pub fn peek(&self, warp: u32, reg: u32, out: &mut [u64]) {
+        let e = self.entries[(warp * self.cfg.arch_regs + reg) as usize].clone();
+        self.expand_into(&e, out);
+    }
+
+    /// Write the active lanes (set bits of `mask`) of a vector register.
+    /// Inactive lanes keep their old values. The write path re-runs the
+    /// compressor on the merged vector, exactly like the hardware's array of
+    /// comparators (Figure 5).
+    pub fn write(&mut self, warp: u32, reg: u32, values: &[u64], mask: u64) -> WriteInfo {
+        let lanes = self.cfg.lanes as usize;
+        let full = mask & (u64::MAX >> (64 - lanes));
+        if full == 0 {
+            return WriteInfo { to_srf: true, ..WriteInfo::default() };
+        }
+        let idx = self.idx(warp, reg);
+
+        // Merge with existing contents.
+        let mut merged = [0u64; MAX_LANES];
+        let old = self.entries[idx].clone();
+        self.expand_into(&old, &mut merged);
+        for i in 0..lanes {
+            if full >> i & 1 == 1 {
+                merged[i] = values[i];
+            }
+        }
+        let merged = &merged[..lanes];
+
+        if let Some(null) = self.cfg.null_value {
+            if merged.iter().any(|&x| x != null) {
+                self.ever_nonnull[warp as usize] |= 1 << reg;
+            }
+        } else if merged.iter().any(|&x| x != 0) {
+            self.ever_nonnull[warp as usize] |= 1 << reg;
+        }
+
+        let mut info = WriteInfo::default();
+        match self.compress(merged) {
+            Some(new_entry) => {
+                // Free any VRF slot the register was occupying.
+                if let Entry::Vector { slot } = old {
+                    self.free.push(slot);
+                    self.resident -= 1;
+                }
+                self.entries[idx] = new_entry;
+                self.stats.scalar_writes += 1;
+                info.to_srf = true;
+            }
+            None => {
+                let slot = match self.entries[idx] {
+                    Entry::Vector { slot } => slot,
+                    _ => {
+                        let (slot, spills) = self.alloc_slot();
+                        info.spills += spills;
+                        self.entries[idx] = Entry::Vector { slot };
+                        slot
+                    }
+                };
+                let s = (slot * self.cfg.lanes) as usize;
+                self.vrf[s..s + lanes].copy_from_slice(merged);
+                self.stats.vector_writes += 1;
+            }
+        }
+        info
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RfConfig {
+        RfConfig::data(2, 8, 4)
+    }
+
+    fn vals(f: impl Fn(usize) -> u64) -> Vec<u64> {
+        (0..8).map(f).collect()
+    }
+
+    #[test]
+    fn uniform_and_affine_stay_scalar() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 1, &vals(|_| 42), u64::MAX);
+        rf.write(0, 2, &vals(|i| 100 + 4 * i as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 0);
+        let mut out = [0u64; 8];
+        assert!(!rf.read(0, 2, &mut out).from_vrf);
+        assert_eq!(out[7], 128);
+    }
+
+    #[test]
+    fn negative_stride_and_wraparound() {
+        let mut rf = CompressedRegFile::new(cfg());
+        // Values are 32-bit data, zero-extended into the 64-bit elements.
+        rf.write(0, 1, &vals(|i| (10i32 - 2 * i as i32) as u32 as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 0);
+        let mut out = [0u64; 8];
+        rf.read(0, 1, &mut out);
+        assert_eq!(out[6], (-2i32) as u32 as u64);
+    }
+
+    #[test]
+    fn irregular_goes_to_vrf() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 3, &vals(|i| (i * i) as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 1);
+        let mut out = [0u64; 8];
+        assert!(rf.read(0, 3, &mut out).from_vrf);
+        assert_eq!(out[5], 25);
+    }
+
+    #[test]
+    fn large_stride_is_not_compressible() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 3, &vals(|i| 1000 * i as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 1, "stride 1000 exceeds the 6-bit field");
+    }
+
+    #[test]
+    fn partial_write_expands_scalar() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 4, &vals(|_| 7), u64::MAX);
+        // Overwrite lanes 0..4 with something irregular.
+        rf.write(0, 4, &vals(|i| (i * 13) as u64), 0x0F);
+        let mut out = [0u64; 8];
+        assert!(rf.read(0, 4, &mut out).from_vrf);
+        assert_eq!(&out[..8], &[0, 13, 26, 39, 7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn partial_uniform_overwrite_recompresses() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 4, &vals(|i| (i * i) as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 1);
+        // Full overwrite with a uniform value frees the slot.
+        rf.write(0, 4, &vals(|_| 5), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 0);
+    }
+
+    #[test]
+    fn spill_and_fill_roundtrip() {
+        let mut rf = CompressedRegFile::new(cfg()); // 4 slots
+        for r in 0..6 {
+            rf.write(0, r, &vals(|i| (i as u64) * 97 + r as u64), u64::MAX);
+        }
+        assert!(rf.stats().spills >= 2);
+        // All six registers still read back correctly.
+        let mut out = [0u64; 8];
+        for r in 0..6 {
+            rf.read(0, r, &mut out);
+            assert_eq!(out[3], 3 * 97 + r as u64, "reg {r}");
+        }
+        assert!(rf.stats().fills >= 2);
+    }
+
+    #[test]
+    fn nvo_keeps_partially_null_uniform_in_srf() {
+        let mut rf = CompressedRegFile::new(RfConfig::meta(1, 8, 4, true));
+        // A uniform metadata vector...
+        rf.write(0, 5, &vals(|_| 0x1_2345_6789), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 0);
+        // ...partially overwritten with null stays in the SRF (rule 1)...
+        rf.write(0, 5, &vals(|_| NULL_META), 0x0F);
+        assert_eq!(rf.vrf_resident(), 0);
+        let mut out = [0u64; 8];
+        rf.read(0, 5, &mut out);
+        assert_eq!(&out[..8], &[0, 0, 0, 0, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789]);
+        // ...and partially overwritten again with the same uniform value
+        // also stays (rule 3).
+        rf.write(0, 5, &vals(|_| 0x1_2345_6789), 0x03);
+        assert_eq!(rf.vrf_resident(), 0);
+    }
+
+    #[test]
+    fn without_nvo_partial_null_goes_to_vrf() {
+        let mut rf = CompressedRegFile::new(RfConfig::meta(1, 8, 4, false));
+        rf.write(0, 5, &vals(|_| 0x1_2345_6789), u64::MAX);
+        rf.write(0, 5, &vals(|_| NULL_META), 0x0F);
+        assert_eq!(rf.vrf_resident(), 1);
+    }
+
+    #[test]
+    fn nvo_two_distinct_values_still_diverge() {
+        let mut rf = CompressedRegFile::new(RfConfig::meta(1, 8, 4, true));
+        rf.write(0, 5, &vals(|_| 0x111), u64::MAX);
+        rf.write(0, 5, &vals(|_| 0x222), 0x0F);
+        assert_eq!(rf.vrf_resident(), 1, "two non-null values cannot share an NVO entry");
+    }
+
+    #[test]
+    fn meta_rf_does_not_detect_affine() {
+        let mut rf = CompressedRegFile::new(RfConfig::meta(1, 8, 4, true));
+        rf.write(0, 6, &vals(|i| i as u64), u64::MAX);
+        assert_eq!(rf.vrf_resident(), 1);
+    }
+
+    #[test]
+    fn cap_register_watermark() {
+        let mut rf = CompressedRegFile::new(RfConfig::meta(2, 8, 4, true));
+        rf.write(0, 3, &vals(|_| 0x1_0000_0000), u64::MAX);
+        rf.write(0, 9, &vals(|_| 0x1_0000_0000), u64::MAX);
+        rf.write(1, 3, &vals(|_| 0x1_0000_0000), u64::MAX);
+        // Null writes don't count.
+        rf.write(1, 4, &vals(|_| NULL_META), u64::MAX);
+        assert_eq!(rf.max_nonnull_regs(), 2);
+    }
+
+    #[test]
+    fn zero_mask_write_is_a_nop() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 7, &vals(|i| i as u64 * 1001), 0);
+        assert_eq!(rf.vrf_resident(), 0);
+        let mut out = [0u64; 8];
+        rf.read(0, 7, &mut out);
+        assert_eq!(out, [0u64; 8]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The fourteen benchmarks of Table 1.
+
+mod bitonic_la;
+mod bitonic_sm;
+mod blk_stencil;
+mod histogram;
+mod matmul;
+mod matvecmul;
+mod motion_est;
+mod reduce;
+mod scan;
+mod spmv;
+mod str_stencil;
+mod transpose;
+mod vecadd;
+mod vecgcd;
+
+use crate::NoclBench;
+
+/// The suite, in Table-1 order.
+pub fn catalog() -> &'static [&'static dyn NoclBench] {
+    &[
+        &vecadd::VecAdd,
+        &histogram::Histogram,
+        &reduce::Reduce,
+        &scan::Scan,
+        &transpose::Transpose,
+        &matvecmul::MatVecMul,
+        &matmul::MatMul,
+        &bitonic_sm::BitonicSm,
+        &bitonic_la::BitonicLa,
+        &spmv::Spmv,
+        &blk_stencil::BlkStencil,
+        &str_stencil::StrStencil,
+        &vecgcd::VecGcd,
+        &motion_est::MotionEst,
+    ]
+}

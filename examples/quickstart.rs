@@ -1,0 +1,60 @@
+//! Quickstart: write a CUDA-style kernel, run it on the CHERI-SIMT model in
+//! pure-capability mode, and inspect the hardware counters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cheri_simt::{CheriMode, CheriOpts, SmConfig};
+use nocl::{Gpu, Launch};
+use nocl_kir::{Elem, KernelBuilder, Mode};
+
+fn main() {
+    // SAXPY: y[i] = a * x[i] + y[i], written against the NoCL-style IR.
+    let mut kb = KernelBuilder::new("saxpy");
+    let n = kb.param_u32("n");
+    let a = kb.param_f32("a");
+    let x = kb.param_ptr("x", Elem::F32);
+    let y = kb.param_ptr("y", Elem::F32);
+    let i = kb.var_u32("i");
+    kb.for_(i.clone(), kb.global_id(), n, kb.global_threads(), |k| {
+        k.store(&y, i.clone(), a.clone() * x.at(i.clone()) + y.at(i.clone()));
+    });
+    let kernel = kb.finish();
+
+    // A CHERI-enabled SM in the paper's optimised configuration. Every
+    // pointer the kernel receives is a tagged, bounded capability; loads
+    // and stores are hardware bounds-checked.
+    let mut gpu =
+        Gpu::new(SmConfig::with_geometry(16, 32, CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+
+    let n = 4096u32;
+    let xs: Vec<f32> = (0..n).map(|v| v as f32).collect();
+    let ys: Vec<f32> = (0..n).map(|v| 0.5 * v as f32).collect();
+    let dx = gpu.alloc_from(&xs);
+    let dy = gpu.alloc_from(&ys);
+
+    let stats = gpu
+        .launch(&kernel, Launch::new(8, 128), &[n.into(), 2.0f32.into(), (&dx).into(), (&dy).into()])
+        .expect("launch");
+
+    let result = gpu.read(&dy);
+    assert_eq!(result[100], 2.0 * 100.0 + 50.0);
+    println!("saxpy over {n} elements: OK");
+    println!(
+        "cycles {}  warp-instructions {}  IPC {:.2}  DRAM {:.2} B/cycle",
+        stats.cycles,
+        stats.instrs,
+        stats.ipc(),
+        stats.dram_bytes_per_cycle()
+    );
+    println!(
+        "CHERI instructions: {:.1}% of the dynamic stream {:?}",
+        stats.cheri_fraction() * 100.0,
+        stats.cheri_histogram
+    );
+    println!(
+        "capability metadata stayed fully compressed: peak metadata VRF residency = {}",
+        stats.peak_meta_vrf_resident
+    );
+}
