@@ -121,8 +121,7 @@ pub fn synthesise(cfg: &SmConfig) -> AreaReport {
 /// Block-RAM bits (Kb) for a configuration — structural, from the register
 /// file accounting plus the fixed memories.
 pub fn bram_kilobits(cfg: &SmConfig) -> f64 {
-    let data_rf =
-        RegFileStorage::for_config(&RfConfig::data(cfg.warps, cfg.lanes, cfg.vrf_slots));
+    let data_rf = RegFileStorage::for_config(&RfConfig::data(cfg.warps, cfg.lanes, cfg.vrf_slots));
     let mut kb = data_rf.kilobits();
     kb += calib::TCIM_KB + calib::SCRATCH_KB + calib::QUEUES_KB;
     if let Some(opts) = cfg.cheri.opts() {
@@ -133,10 +132,15 @@ pub fn bram_kilobits(cfg: &SmConfig) -> f64 {
                 RegFileStorage::for_config(&RfConfig::meta(cfg.warps, cfg.lanes, 0, opts.nvo));
             kb += meta.srf_bits as f64 / 1024.0;
             if opts.shared_vrf {
-                kb += (cfg.vrf_slots as u64 * cfg.lanes as u64) as f64 / 1024.0; // +1 bit/elem
+                kb += (cfg.vrf_slots as u64 * cfg.lanes as u64) as f64 / 1024.0;
+            // +1 bit/elem
             } else {
-                let meta_vrf =
-                    RegFileStorage::for_config(&RfConfig::meta(cfg.warps, cfg.lanes, cfg.vrf_slots, opts.nvo));
+                let meta_vrf = RegFileStorage::for_config(&RfConfig::meta(
+                    cfg.warps,
+                    cfg.lanes,
+                    cfg.vrf_slots,
+                    opts.nvo,
+                ));
                 kb += meta_vrf.vrf_bits as f64 / 1024.0;
             }
         } else {

@@ -1,101 +1,104 @@
-//! Criterion microbenchmarks of the simulator's substrates: the CHERI
-//! Concentrate codec, the compressed register file, the coalescing unit,
-//! and end-to-end warp-instruction throughput.
+//! Microbenchmarks of the simulator's substrates: the CHERI Concentrate
+//! codec, the compressed register file, the coalescing unit, and
+//! end-to-end warp-instruction throughput.
+//!
+//! Plain `harness = false` timing loops (the workspace builds offline, so
+//! no criterion): each workload runs for a warm-up pass plus a fixed number
+//! of samples and reports the median wall-clock time per iteration.
 
 use cheri_cap::{bounds, CapMem, CapPipe};
 use cheri_simt::{CheriMode, CheriOpts, SmConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use nocl::{Gpu, Launch};
 use nocl_kir::{Elem, KernelBuilder, Mode};
 use simt_mem::{CoalescingUnit, LaneRequest};
 use simt_regfile::{CompressedRegFile, RfConfig};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_capability_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cheri-cap");
-    g.bench_function("encode_decode", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..256u32 {
-                let base = i * 12345;
-                let enc = bounds::encode(base, base as u64 + 4096);
-                acc ^= bounds::decode(enc.field, base).top;
-            }
-            black_box(acc)
+const SAMPLES: usize = 20;
+
+/// Time `f` over `SAMPLES` runs (after one warm-up) and print the median.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
         })
-    });
-    g.bench_function("from_mem_set_addr_check", |b| {
-        let cap = CapPipe::almighty().set_addr(0x1000).set_bounds(1 << 20).0;
-        let mem = cap.to_mem();
-        b.iter(|| {
-            let mut ok = 0u32;
-            for i in 0..256u32 {
-                let c = CapPipe::from_mem(black_box(mem)).set_addr(0x1000 + i * 64);
-                ok += c.is_access_in_bounds(c.addr(), 4) as u32;
-            }
-            black_box(ok)
-        })
-    });
-    g.bench_function("mem_roundtrip", |b| {
-        b.iter(|| {
-            let mut bits = 0u64;
-            for i in 0..256u64 {
-                let m = CapMem::from_bits(i * 0x9E37_79B9_7F4A_7C15, i % 2 == 0);
-                bits ^= CapPipe::from_mem(m).to_mem().bits();
-            }
-            black_box(bits)
-        })
-    });
-    g.finish();
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[SAMPLES / 2];
+    println!("{name:<40} {:>12.3} us/iter", median * 1e6);
 }
 
-fn bench_regfile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regfile");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("uniform_writes", |b| {
-        let mut rf = CompressedRegFile::new(RfConfig::data(64, 32, 768));
-        let vals = [42u64; 64];
-        b.iter(|| {
-            for i in 0..1024u32 {
-                rf.write(i % 64, i % 32, &vals, u64::MAX);
-            }
-        })
+fn bench_capability_codec() {
+    bench("cheri-cap/encode_decode", || {
+        let mut acc = 0u64;
+        for i in 0..256u32 {
+            let base = i * 12345;
+            let enc = bounds::encode(base, base as u64 + 4096);
+            acc ^= bounds::decode(enc.field, base).top;
+        }
+        acc
     });
-    g.bench_function("affine_writes", |b| {
-        let mut rf = CompressedRegFile::new(RfConfig::data(64, 32, 768));
-        let vals: Vec<u64> = (0..64).map(|i| 100 + 4 * i).collect();
-        b.iter(|| {
-            for i in 0..1024u32 {
-                rf.write(i % 64, i % 32, &vals, u64::MAX);
-            }
-        })
+    let cap = CapPipe::almighty().set_addr(0x1000).set_bounds(1 << 20).0;
+    let mem = cap.to_mem();
+    bench("cheri-cap/from_mem_set_addr_check", || {
+        let mut ok = 0u32;
+        for i in 0..256u32 {
+            let c = CapPipe::from_mem(black_box(mem)).set_addr(0x1000 + i * 64);
+            ok += c.is_access_in_bounds(c.addr(), 4) as u32;
+        }
+        ok
     });
-    g.bench_function("vector_writes_with_spills", |b| {
-        let mut rf = CompressedRegFile::new(RfConfig::data(8, 32, 16));
-        let vals: Vec<u64> = (0..64).map(|i| i * i * 7919).collect();
-        b.iter(|| {
-            for i in 0..1024u32 {
-                rf.write(i % 8, i % 32, &vals, u64::MAX);
-            }
-        })
+    bench("cheri-cap/mem_roundtrip", || {
+        let mut bits = 0u64;
+        for i in 0..256u64 {
+            let m = CapMem::from_bits(i * 0x9E37_79B9_7F4A_7C15, i % 2 == 0);
+            bits ^= CapPipe::from_mem(m).to_mem().bits();
+        }
+        bits
     });
-    g.finish();
 }
 
-fn bench_coalescer(c: &mut Criterion) {
+fn bench_regfile() {
+    let mut rf = CompressedRegFile::new(RfConfig::data(64, 32, 768));
+    let uniform = [42u64; 64];
+    bench("regfile/uniform_writes", || {
+        for i in 0..1024u32 {
+            rf.write(i % 64, i % 32, &uniform, u64::MAX);
+        }
+    });
+    let mut rf = CompressedRegFile::new(RfConfig::data(64, 32, 768));
+    let affine: Vec<u64> = (0..64).map(|i| 100 + 4 * i).collect();
+    bench("regfile/affine_writes", || {
+        for i in 0..1024u32 {
+            rf.write(i % 64, i % 32, &affine, u64::MAX);
+        }
+    });
+    let mut rf = CompressedRegFile::new(RfConfig::data(8, 32, 16));
+    let vectors: Vec<u64> = (0..64).map(|i| i * i * 7919).collect();
+    bench("regfile/vector_writes_with_spills", || {
+        for i in 0..1024u32 {
+            rf.write(i % 8, i % 32, &vectors, u64::MAX);
+        }
+    });
+}
+
+fn bench_coalescer() {
     let unit = CoalescingUnit::new();
     let unit_stride: Vec<LaneRequest> =
         (0..32).map(|i| LaneRequest { addr: 0x8000_0000 + i * 4, bytes: 4 }).collect();
     let scattered: Vec<LaneRequest> =
         (0..32).map(|i| LaneRequest { addr: 0x8000_0000 + i * 4096, bytes: 4 }).collect();
-    let mut g = c.benchmark_group("coalescer");
-    g.bench_function("unit_stride", |b| b.iter(|| unit.coalesce(black_box(&unit_stride))));
-    g.bench_function("scattered", |b| b.iter(|| unit.coalesce(black_box(&scattered))));
-    g.finish();
+    bench("coalescer/unit_stride", || unit.coalesce(black_box(&unit_stride)));
+    bench("coalescer/scattered", || unit.coalesce(black_box(&scattered)));
 }
 
 /// End-to-end simulator throughput: warp-instructions per second for a
 /// busy-loop kernel, with and without CHERI.
-fn bench_sm_throughput(c: &mut Criterion) {
+fn bench_sm_throughput() {
     let mut kb = KernelBuilder::new("spin");
     let len = kb.param_u32("len");
     let out = kb.param_ptr("out", Elem::U32);
@@ -103,35 +106,31 @@ fn bench_sm_throughput(c: &mut Criterion) {
     let acc = kb.var_u32("acc");
     kb.assign(&acc, nocl_kir::Expr::u32(0));
     kb.for_(i.clone(), kb.global_id(), len.clone(), kb.global_threads(), |k| {
-        k.assign(&acc, acc.clone() * nocl_kir::Expr::u32(1664525) + nocl_kir::Expr::u32(1013904223));
+        k.assign(
+            &acc,
+            acc.clone() * nocl_kir::Expr::u32(1664525) + nocl_kir::Expr::u32(1013904223),
+        );
     });
     kb.store(&out, kb.thread_idx(), acc.clone());
     let kernel = kb.finish();
 
-    let mut g = c.benchmark_group("sm-throughput");
-    g.sample_size(10);
     for (name, cheri, mode) in [
-        ("baseline", CheriMode::Off, Mode::Baseline),
-        ("cheri-optimised", CheriMode::On(CheriOpts::optimised()), Mode::PureCap),
+        ("sm-throughput/baseline", CheriMode::Off, Mode::Baseline),
+        ("sm-throughput/cheri-optimised", CheriMode::On(CheriOpts::optimised()), Mode::PureCap),
     ] {
-        g.bench_function(name, |b| {
-            let mut gpu = Gpu::new(SmConfig::small(cheri), mode);
-            let out = gpu.alloc::<u32>(64);
-            b.iter(|| {
-                gpu.launch(&kernel, Launch::new(1, 64), &[10_000u32.into(), (&out).into()])
-                    .unwrap()
-                    .instrs
-            })
+        let mut gpu = Gpu::new(SmConfig::small(cheri), mode);
+        let out = gpu.alloc::<u32>(64);
+        bench(name, || {
+            gpu.launch(&kernel, Launch::new(1, 64), &[10_000u32.into(), (&out).into()])
+                .unwrap()
+                .instrs
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    components,
-    bench_capability_codec,
-    bench_regfile,
-    bench_coalescer,
-    bench_sm_throughput
-);
-criterion_main!(components);
+fn main() {
+    bench_capability_codec();
+    bench_regfile();
+    bench_coalescer();
+    bench_sm_throughput();
+}

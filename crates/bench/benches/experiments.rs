@@ -1,81 +1,72 @@
-//! Criterion benches — one group per table/figure of the evaluation.
+//! Experiment-regeneration benches — one timing per table/figure of the
+//! evaluation, at quick scale (the `repro` binary runs the full-scale
+//! version); the measured quantity is the simulator itself, which is this
+//! repository's "hardware".
 //!
-//! Each bench measures the wall-clock cost of regenerating the experiment
-//! at quick scale (the `repro` binary runs the full-scale version); the
-//! measured quantity is the simulator itself, which is this repository's
-//! "hardware".
+//! Plain `harness = false` timing loops (the workspace builds offline, so
+//! no criterion): each experiment runs a warm-up pass plus a fixed number
+//! of samples and reports the median wall-clock time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use repro::{
     ablate, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, table1, table2, table3, Harness,
 };
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1", |b| b.iter(table1));
-    c.bench_function("table2", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            table2(&mut h)
+const SAMPLES: usize = 5;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
         })
-    });
-    c.bench_function("table3", |b| b.iter(table3));
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[SAMPLES / 2];
+    println!("{name:<10} {:>10.1} ms/iter", median * 1e3);
 }
 
-fn bench_figures(c: &mut Criterion) {
-    c.bench_function("fig6", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig6(&mut h)
-        })
+fn main() {
+    bench("table1", table1);
+    bench("table2", || {
+        let mut h = Harness::quick();
+        table2(&mut h)
     });
-    c.bench_function("fig7", |b| b.iter(fig7));
-    c.bench_function("fig10", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig10(&mut h)
-        })
+    bench("table3", table3);
+    bench("fig6", || {
+        let mut h = Harness::quick();
+        fig6(&mut h)
     });
-    c.bench_function("fig11", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig11(&mut h)
-        })
+    bench("fig7", fig7);
+    bench("fig10", || {
+        let mut h = Harness::quick();
+        fig10(&mut h)
     });
-    c.bench_function("fig12", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig12(&mut h)
-        })
+    bench("fig11", || {
+        let mut h = Harness::quick();
+        fig11(&mut h)
     });
-    c.bench_function("fig13", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig13(&mut h)
-        })
+    bench("fig12", || {
+        let mut h = Harness::quick();
+        fig12(&mut h)
     });
-    c.bench_function("fig14", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig14(&mut h)
-        })
+    bench("fig13", || {
+        let mut h = Harness::quick();
+        fig13(&mut h)
     });
-    c.bench_function("fig15", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            fig15(&mut h)
-        })
+    bench("fig14", || {
+        let mut h = Harness::quick();
+        fig14(&mut h)
     });
-    c.bench_function("ablate", |b| {
-        b.iter(|| {
-            let mut h = Harness::quick();
-            ablate(&mut h)
-        })
+    bench("fig15", || {
+        let mut h = Harness::quick();
+        fig15(&mut h)
+    });
+    bench("ablate", || {
+        let mut h = Harness::quick();
+        ablate(&mut h)
     });
 }
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tables, bench_figures
-}
-criterion_main!(experiments);

@@ -1,24 +1,56 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! usage: repro [--quick] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
+//! usage: repro [--quick] [--jobs N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
 //!        repro disasm <benchmark> <mode>
 //! ```
 //!
 //! Without `--quick`, experiments run at the paper's geometry (64 warps ×
 //! 32 lanes) and dataset scale; expect minutes per configuration in a
 //! release build.
+//!
+//! `--jobs N` (or the `BENCH_JOBS` environment variable) sets the worker
+//! count for the parallel suite runner; the default is the machine's
+//! available parallelism. Output is bit-identical for every worker count —
+//! `--jobs 1` runs the same engine serially.
 
 use repro::{
-    ablate, disasm, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, multism, table1,
-    table2, table3, tagsweep, vrfsweep, Harness,
+    ablate, default_jobs, disasm, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, multism,
+    table1, table2, table3, tagsweep, vrfsweep, Harness,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let what: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut quick = false;
+    let mut jobs = default_jobs();
+    let mut what: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--jobs=") => {
+                match other["--jobs=".len()..].parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+            other => what.push(other),
+        }
+    }
     let what = if what.is_empty() { vec!["all"] } else { what };
 
     // Disassembly is a standalone subcommand: repro disasm <bench> <mode>.
@@ -32,14 +64,16 @@ fn main() {
                 }
             },
             _ => {
-                eprintln!("usage: repro disasm <benchmark> <baseline|purecap|rust|rustfull|gpushield>");
+                eprintln!(
+                    "usage: repro disasm <benchmark> <baseline|purecap|rust|rustfull|gpushield>"
+                );
                 std::process::exit(2);
             }
         }
         return;
     }
 
-    let mut h = if quick { Harness::quick() } else { Harness::paper() }.verbose();
+    let mut h = if quick { Harness::quick() } else { Harness::paper() }.verbose().with_jobs(jobs);
 
     for w in what {
         let out = match w {

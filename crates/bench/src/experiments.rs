@@ -12,7 +12,7 @@ fn pct(x: f64) -> String {
 /// Table 1: the benchmark inventory.
 pub fn table1() -> String {
     let mut s = String::from("Table 1: NoCL benchmark suite\n");
-    let _ = writeln!(s, "{:<12} {:<42} {}", "Benchmark", "Description", "Origin");
+    let _ = writeln!(s, "{:<12} {:<42} Origin", "Benchmark", "Description");
     for b in catalog() {
         let _ = writeln!(s, "{:<12} {:<42} {}", b.name(), b.description(), b.origin());
     }
@@ -29,8 +29,7 @@ pub fn table2(h: &mut Harness) -> String {
         .map(|(_, st)| (st.cycles, st.dram.total_bytes()))
         .collect();
     let (full_cfg, _) = Config::Base { eighths: 3 }.instantiate(h.geometry());
-    let uncompressed_kb =
-        uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
+    let uncompressed_kb = uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
 
     let mut s = String::from("Table 2: baseline register-file compression\n");
     let _ = writeln!(
@@ -46,9 +45,12 @@ pub fn table2(h: &mut Harness) -> String {
         let cycle_ovhd = geomean(
             results.iter().zip(&reference).map(|((_, st), (c, _))| st.cycles as f64 / *c as f64),
         ) - 1.0;
-        let mem_ovhd = geomean(results.iter().zip(&reference).map(|((_, st), (_, b))| {
-            st.dram.total_bytes() as f64 / (*b).max(1) as f64
-        })) - 1.0;
+        let mem_ovhd = geomean(
+            results
+                .iter()
+                .zip(&reference)
+                .map(|((_, st), (_, b))| st.dram.total_bytes() as f64 / (*b).max(1) as f64),
+        ) - 1.0;
         let _ = writeln!(
             s,
             "{:<18} {:>12.0} {:>10.2} {:>12} {:>12}",
@@ -79,8 +81,7 @@ pub fn table3() -> String {
             name, r.alms, r.dsps, r.bram_kb, r.fmax_mhz
         );
     }
-    let [base, naive, opt] =
-        sim_area::table3_configs().map(|(_, c)| sim_area::synthesise(&c).alms);
+    let [base, naive, opt] = sim_area::table3_configs().map(|(_, c)| sim_area::synthesise(&c).alms);
     let _ = writeln!(
         s,
         "overhead: naive +{} ALMs, optimised +{} ALMs ({:.0}% reduction; {} ALMs/lane vs {} for a 32-bit multiplier)",
@@ -120,7 +121,12 @@ pub fn fig7() -> String {
     for (name, alms) in cheri_cap::area::FIGURE7 {
         let _ = writeln!(s, "{name:<18} {alms:>5}");
     }
-    let _ = writeln!(s, "{:<18} {:>5}   (reference: 32-bit multiplier)", "mul32", cheri_cap::area::MUL32);
+    let _ = writeln!(
+        s,
+        "{:<18} {:>5}   (reference: 32-bit multiplier)",
+        "mul32",
+        cheri_cap::area::MUL32
+    );
     let _ = writeln!(
         s,
         "fast path (per lane): {} ALMs; slow path (SFU): {} ALMs",
@@ -163,10 +169,7 @@ pub fn fig10(h: &mut Harness) -> String {
             meta_nvo[i] * 100.0
         );
     }
-    let _ = writeln!(
-        s,
-        "(paper: with NVO only BlkStencil uses VRF space for metadata)"
-    );
+    let _ = writeln!(s, "(paper: with NVO only BlkStencil uses VRF space for metadata)");
     s
 }
 
@@ -176,7 +179,13 @@ pub fn fig11(h: &mut Harness) -> String {
     let results = h.results(Config::CheriOpt);
     let mut max = 0;
     for (name, st) in results {
-        let _ = writeln!(s, "{:<12} {:>3}  {}", name, st.cap_regs_used, bar(st.cap_regs_used as f64, 0.5));
+        let _ = writeln!(
+            s,
+            "{:<12} {:>3}  {}",
+            name,
+            st.cap_regs_used,
+            bar(st.cap_regs_used as f64, 0.5)
+        );
         max = max.max(st.cap_regs_used);
     }
     let _ = writeln!(
@@ -283,15 +292,14 @@ pub fn fig15(h: &mut Harness) -> String {
         ("Silicon area overhead on GPUs", "low (likely)", "medium"),
     ];
     let mut s = String::from("Figure 15: GPUShield vs CHERI (qualitative, from the paper)\n");
-    let _ = writeln!(s, "{:<44} {:<14} {}", "Feature", "GPUShield", "CHERI");
+    let _ = writeln!(s, "{:<44} {:<14} CHERI", "Feature", "GPUShield");
     for (f, g, c) in rows {
         let _ = writeln!(s, "{f:<44} {g:<14} {c}");
     }
     // Quantitative footer from the comparator implementation.
     let base: Vec<u64> =
         h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
-    let shield: Vec<u64> =
-        h.results(Config::GpuShield).iter().map(|(_, st)| st.cycles).collect();
+    let shield: Vec<u64> = h.results(Config::GpuShield).iter().map(|(_, st)| st.cycles).collect();
     let cheri: Vec<u64> = h.results(Config::CheriOpt).iter().map(|(_, st)| st.cycles).collect();
     let g_shield = geomean(base.iter().zip(&shield).map(|(b, c)| *c as f64 / *b as f64)) - 1.0;
     let g_cheri = geomean(base.iter().zip(&cheri).map(|(b, c)| *c as f64 / *b as f64)) - 1.0;
@@ -312,22 +320,27 @@ pub fn ablate(h: &mut Harness) -> String {
     let base: Vec<u64> =
         h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
     let mut s = String::from("Ablation: CHERI cost-amelioration techniques\n");
-    let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12}", "Configuration", "CycleOvhd", "ALMs", "BRAM(Kb)");
+    let _ = writeln!(
+        s,
+        "{:<34} {:>12} {:>12} {:>12}",
+        "Configuration", "CycleOvhd", "ALMs", "BRAM(Kb)"
+    );
     let variants: [(&str, CheriOpts); 4] = [
         ("naive CHERI", CheriOpts::naive()),
-        ("+ compressed metadata RF (+NVO)", CheriOpts {
-            compress_meta: true,
-            nvo: true,
-            shared_vrf: true,
-            ..CheriOpts::naive()
-        }),
-        ("+ SFU capability ops", CheriOpts {
-            compress_meta: true,
-            nvo: true,
-            shared_vrf: true,
-            sfu_cap_ops: true,
-            ..CheriOpts::naive()
-        }),
+        (
+            "+ compressed metadata RF (+NVO)",
+            CheriOpts { compress_meta: true, nvo: true, shared_vrf: true, ..CheriOpts::naive() },
+        ),
+        (
+            "+ SFU capability ops",
+            CheriOpts {
+                compress_meta: true,
+                nvo: true,
+                shared_vrf: true,
+                sfu_cap_ops: true,
+                ..CheriOpts::naive()
+            },
+        ),
         ("+ static PC metadata (= optimised)", CheriOpts::optimised()),
     ];
     for (name, opts) in variants {
@@ -338,13 +351,20 @@ pub fn ablate(h: &mut Harness) -> String {
                 // Ad-hoc variant: run directly without caching.
                 let (cfg, mode) = Config::CheriOpt.instantiate(h.geometry());
                 let cfg = cheri_simt::SmConfig { cheri: cheri_simt::CheriMode::On(opts), ..cfg };
-                let mut gpu = nocl::Gpu::new(cfg, mode);
-                let results = nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite");
+                let results =
+                    crate::run_suite_parallel(h.jobs(), cfg, mode, scale_of(h)).expect("suite");
                 let ovhd = geomean(
                     results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64),
                 ) - 1.0;
                 let area = sim_area::synthesise(&cfg);
-                let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12.0}", name, pct(ovhd), area.alms, area.bram_kb);
+                let _ = writeln!(
+                    s,
+                    "{:<34} {:>12} {:>12} {:>12.0}",
+                    name,
+                    pct(ovhd),
+                    area.alms,
+                    area.bram_kb
+                );
                 continue;
             }
         };
@@ -354,7 +374,8 @@ pub fn ablate(h: &mut Harness) -> String {
                 - 1.0;
         let (cfg, _) = key.instantiate(h.geometry());
         let area = sim_area::synthesise(&cfg);
-        let _ = writeln!(s, "{:<34} {:>12} {:>12} {:>12.0}", name, pct(ovhd), area.alms, area.bram_kb);
+        let _ =
+            writeln!(s, "{:<34} {:>12} {:>12} {:>12.0}", name, pct(ovhd), area.alms, area.bram_kb);
     }
     s
 }
@@ -369,10 +390,13 @@ pub fn vrfsweep(h: &mut Harness) -> String {
         .map(|(_, st)| (st.cycles, st.dram.total_bytes()))
         .collect();
     let mut s = String::from("VRF-size sweep (extension of Table 2)\n");
-    let _ = writeln!(s, "{:<10} {:>12} {:>10} {:>12} {:>12}", "VRF", "Storage(Kb)", "Ratio", "CycleOvhd", "MemOvhd");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>10} {:>12} {:>12}",
+        "VRF", "Storage(Kb)", "Ratio", "CycleOvhd", "MemOvhd"
+    );
     let (full_cfg, _) = Config::Base { eighths: 3 }.instantiate(h.geometry());
-    let uncompressed_kb =
-        uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
+    let uncompressed_kb = uncompressed_bits(full_cfg.warps, full_cfg.lanes, 32, 32) as f64 / 1024.0;
     for eighths in [1u32, 2, 3, 4, 6, 8] {
         let (cfg, _) = Config::Base { eighths }.instantiate(h.geometry());
         let storage =
@@ -381,9 +405,12 @@ pub fn vrfsweep(h: &mut Harness) -> String {
         let cyc = geomean(
             results.iter().zip(&reference).map(|((_, st), (c, _))| st.cycles as f64 / *c as f64),
         ) - 1.0;
-        let mem = geomean(results.iter().zip(&reference).map(|((_, st), (_, b))| {
-            st.dram.total_bytes() as f64 / (*b).max(1) as f64
-        })) - 1.0;
+        let mem = geomean(
+            results
+                .iter()
+                .zip(&reference)
+                .map(|((_, st), (_, b))| st.dram.total_bytes() as f64 / (*b).max(1) as f64),
+        ) - 1.0;
         let _ = writeln!(
             s,
             "{:<10} {:>12.0} {:>10.2} {:>12} {:>12}",
@@ -405,7 +432,9 @@ pub fn disasm(bench: &str, mode_name: &str) -> Result<String, String> {
         "rust" => nocl_kir::Mode::RustChecked,
         "rustfull" => nocl_kir::Mode::RustFull,
         "gpushield" => nocl_kir::Mode::GpuShield,
-        other => return Err(format!("unknown mode {other} (baseline|purecap|rust|rustfull|gpushield)")),
+        other => {
+            return Err(format!("unknown mode {other} (baseline|purecap|rust|rustfull|gpushield)"))
+        }
     };
     let b = catalog()
         .iter()
@@ -434,13 +463,13 @@ pub fn multism(h: &mut Harness) -> String {
         "Multi-SM projection: CHERI overhead vs per-SM DRAM bandwidth share (Section 4.4)
 ",
     );
-    let _ = writeln!(s, "{:<22} {:>14} {:>14}", "SMs sharing channel", "CHERI ovhd", "traffic ratio");
+    let _ =
+        writeln!(s, "{:<22} {:>14} {:>14}", "SMs sharing channel", "CHERI ovhd", "traffic ratio");
     for n in [1u32, 2, 4] {
         let run = |config: Config, h: &Harness| {
             let (mut cfg, mode) = config.instantiate(h.geometry());
             cfg.dram.cycles_per_transaction *= n;
-            let mut gpu = nocl::Gpu::new(cfg, mode);
-            nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite")
+            crate::run_suite_parallel(h.jobs(), cfg, mode, scale_of(h)).expect("suite")
         };
         let base = run(Config::Base { eighths: 3 }, h);
         let cheri = run(Config::CheriOpt, h);
@@ -464,26 +493,22 @@ pub fn multism(h: &mut Harness) -> String {
 /// premise is that a modest tag cache makes tag traffic "almost zero".
 pub fn tagsweep(h: &mut Harness) -> String {
     let mut s = String::from("Tag-cache sensitivity (CHERI Optimised)\n");
-    let _ = writeln!(
-        s,
-        "{:<12} {:>12} {:>14} {:>14}",
-        "Lines", "MissRate", "TagTxnShare", "CycleOvhd"
-    );
+    let _ =
+        writeln!(s, "{:<12} {:>12} {:>14} {:>14}", "Lines", "MissRate", "TagTxnShare", "CycleOvhd");
     let base: Vec<u64> =
         h.results(Config::Base { eighths: 3 }).iter().map(|(_, st)| st.cycles).collect();
     for lines in [8u32, 32, 128, 512] {
         let (mut cfg, mode) = Config::CheriOpt.instantiate(h.geometry());
         cfg.tag_cache.lines = lines;
-        let mut gpu = nocl::Gpu::new(cfg, mode);
-        let results = nocl_suite::run_suite(&mut gpu, scale_of(h)).expect("suite");
+        let results = crate::run_suite_parallel(h.jobs(), cfg, mode, scale_of(h)).expect("suite");
         let miss = geomean(results.iter().map(|(_, st)| st.tag_cache.miss_rate().max(1e-6)));
         let share = geomean(results.iter().map(|(_, st)| {
             st.dram.tag_transactions as f64
                 / (st.dram.read_transactions + st.dram.write_transactions).max(1) as f64
         }));
-        let ovhd = geomean(
-            results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64),
-        ) - 1.0;
+        let ovhd =
+            geomean(results.iter().zip(&base).map(|((_, st), b)| st.cycles as f64 / *b as f64))
+                - 1.0;
         let _ = writeln!(
             s,
             "{:<12} {:>11.2}% {:>13.2}% {:>14}",

@@ -9,13 +9,14 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod runner;
 
 pub use experiments::*;
+pub use runner::{default_jobs, run_indexed, run_suite_parallel, CellError};
 
 use cheri_simt::{CheriMode, CheriOpts, KernelStats, SmConfig};
-use nocl::Gpu;
 use nocl_kir::Mode;
-use nocl_suite::{run_suite, Scale};
+use nocl_suite::Scale;
 use std::collections::BTreeMap;
 
 /// SM geometry for a harness run.
@@ -61,9 +62,7 @@ impl Config {
             Geometry::Small => SmConfig::small(cheri),
         };
         match self {
-            Config::BaseUncompressed => {
-                (base(CheriMode::Off).vrf_slots_frac(8, 8), Mode::Baseline)
-            }
+            Config::BaseUncompressed => (base(CheriMode::Off).vrf_slots_frac(8, 8), Mode::Baseline),
             Config::Base { eighths } => {
                 (base(CheriMode::Off).vrf_slots_frac(eighths, 8), Mode::Baseline)
             }
@@ -91,17 +90,31 @@ pub struct Harness {
     cache: BTreeMap<Config, SuiteResults>,
     /// Progress callback target (quiet when `None`).
     verbose: bool,
+    /// Worker threads for the parallel suite runner.
+    jobs: usize,
 }
 
 impl Harness {
     /// A harness at the paper's geometry and dataset scale.
     pub fn paper() -> Self {
-        Harness { geometry: Geometry::Full, scale: Scale::Paper, cache: BTreeMap::new(), verbose: false }
+        Harness {
+            geometry: Geometry::Full,
+            scale: Scale::Paper,
+            cache: BTreeMap::new(),
+            verbose: false,
+            jobs: default_jobs(),
+        }
     }
 
     /// A quick harness for tests and smoke runs.
     pub fn quick() -> Self {
-        Harness { geometry: Geometry::Small, scale: Scale::Test, cache: BTreeMap::new(), verbose: false }
+        Harness {
+            geometry: Geometry::Small,
+            scale: Scale::Test,
+            cache: BTreeMap::new(),
+            verbose: false,
+            jobs: default_jobs(),
+        }
     }
 
     /// Print progress lines to stderr while simulating.
@@ -110,12 +123,26 @@ impl Harness {
         self
     }
 
+    /// Set the worker-thread count (`1` = serial; results are identical
+    /// for every value).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The worker-thread count in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// The geometry in use.
     pub fn geometry(&self) -> Geometry {
         self.geometry
     }
 
-    /// Run (or fetch cached) suite results under `config`.
+    /// Run (or fetch cached) suite results under `config`, fanning the
+    /// suite's cells over the harness's worker pool — one fresh `Gpu` per
+    /// benchmark, so results do not depend on the worker count.
     ///
     /// # Panics
     ///
@@ -124,11 +151,10 @@ impl Harness {
     pub fn results(&mut self, config: Config) -> &SuiteResults {
         if !self.cache.contains_key(&config) {
             if self.verbose {
-                eprintln!("[repro] simulating {config:?} ...");
+                eprintln!("[repro] simulating {config:?} on {} worker(s) ...", self.jobs);
             }
             let (cfg, mode) = config.instantiate(self.geometry);
-            let mut gpu = Gpu::new(cfg, mode);
-            let results = run_suite(&mut gpu, self.scale)
+            let results = run_suite_parallel(self.jobs, cfg, mode, self.scale)
                 .unwrap_or_else(|e| panic!("suite failed under {config:?}: {e}"));
             self.cache.insert(config, results);
         }

@@ -137,8 +137,8 @@ pub fn decode(f: BoundsField, addr: u32) -> Bounds {
     let c_b = in_hi(b8) - c_a;
 
     let window = |c: i64| -> i128 { ((a_top + c) as i128) << sh };
-    let mut top = (window(c_t) + (((t8 as i128) & 0xFF) << e)) as i128;
-    let base = (window(c_b) + ((b8 as i128) << e)) as i128;
+    let mut top = window(c_t) + (((t8 as i128) & 0xFF) << e);
+    let base = window(c_b) + ((b8 as i128) << e);
     let base = (base as u64 & 0xFFFF_FFFF) as u32;
     top &= (1i128 << 33) - 1;
     let mut top = top as u64;

@@ -277,7 +277,7 @@ impl CapPipe {
                     CapException::PermitLoadCapViolation
                 });
             }
-            if addr % 8 != 0 {
+            if !addr.is_multiple_of(8) {
                 return Err(CapException::AlignmentViolation);
             }
         }

@@ -1,117 +1,209 @@
 //! Property-based tests pinning down the CHERI Concentrate codec and the
 //! capability operation invariants.
+//!
+//! Formerly written against `proptest`; the workspace must build offline, so
+//! the same properties are now driven by an explicitly seeded [`sim_prng`]
+//! stream plus a bank of pinned regression inputs. Each property runs over
+//! every regression case first (like proptest's `.proptest-regressions`
+//! replay), then over a large randomized sweep.
 
 use cheri_cap::bounds::{self, Bounds, BoundsField, TOP_MAX};
 use cheri_cap::{AccessWidth, CapMem, CapPipe, Perms};
-use proptest::prelude::*;
+use sim_prng::Prng;
 
-/// Arbitrary (base, top) request with a bias towards interesting lengths.
-fn base_top() -> impl Strategy<Value = (u32, u64)> {
-    let power_biased = (any::<u32>(), 0u64..=33)
-        .prop_map(|(base, lsh)| {
-            let max_len = TOP_MAX - base as u64;
-            let len = ((1u64 << lsh) - 1).min(max_len);
-            (base, base as u64 + len)
-        })
-        .boxed();
-    let uniform = (any::<u32>(), any::<u32>())
-        .prop_map(|(a, b)| {
-            let (base, top) = if (a as u64) <= (b as u64) { (a, b as u64) } else { (b, a as u64) };
-            (base, top)
-        })
-        .boxed();
-    power_biased.prop_union(uniform)
+const CASES: usize = 4096;
+
+/// Pinned regression inputs, replayed before the random sweep.
+///
+/// `(2, 129)` is the historical proptest shrink for the CHERI Concentrate
+/// bounds-rounding edge: the smallest request whose first-try exponent
+/// overflows the effective mantissa (at `E = 0` the granule-rounded length
+/// `ceil(129/8) - floor(2/8) = 17` exceeds the 4-bit mantissa budget) and
+/// forces the encoder's retry at `E + 1`. A correct encoder must round it
+/// outward to `[0, 144)` and report it inexact.
+const REGRESSIONS: &[(u32, u64)] = &[
+    (2, 129),
+    (0, 0),
+    (0, 1),
+    (0, 63),
+    (0, 64),
+    (0, 127),
+    (0, 128),
+    (1, 128),
+    (2, 130),
+    (63, 191),
+    (u32::MAX, TOP_MAX),
+    (u32::MAX - 63, TOP_MAX),
+    (0, TOP_MAX),
+    (0x8000_0000, TOP_MAX),
+];
+
+/// Arbitrary (base, top) request with a bias towards interesting lengths
+/// (power-of-two-ish, like the old proptest strategy).
+fn base_top(r: &mut Prng) -> (u32, u64) {
+    if r.next_bool() {
+        let base = r.next_u32();
+        let lsh = r.range_u32(0, 34);
+        let max_len = TOP_MAX - base as u64;
+        let len = (1u64 << lsh).wrapping_sub(1).min(max_len);
+        (base, base as u64 + len)
+    } else {
+        let (a, b) = (r.next_u32(), r.next_u32());
+        if a <= b {
+            (a, b as u64)
+        } else {
+            (b, a as u64)
+        }
+    }
 }
 
-proptest! {
-    /// encode is sound: the decoded bounds contain the request.
-    #[test]
-    fn encode_contains_request((base, top) in base_top()) {
-        let enc = bounds::encode(base, top);
-        prop_assert!(enc.bounds.base as u64 <= base as u64);
-        prop_assert!(enc.bounds.top >= top);
-        prop_assert!(enc.bounds.top <= TOP_MAX);
-        // exactness flag is truthful
-        prop_assert_eq!(enc.exact, enc.bounds == Bounds { base, top });
+/// Run `prop` over the regression bank and `CASES` random requests.
+fn for_each_request(mut prop: impl FnMut(u32, u64)) {
+    for &(base, top) in REGRESSIONS {
+        prop(base, top);
     }
+    let mut r = Prng::seed_from_u64(0xCAB0_B0B5);
+    for _ in 0..CASES {
+        let (base, top) = base_top(&mut r);
+        prop(base, top);
+    }
+}
 
-    /// The encoded field decodes to the same bounds at any representable
-    /// address (round-trip through the 15-bit format).
-    #[test]
-    fn encode_decode_roundtrip((base, top) in base_top()) {
+/// encode is sound: the decoded bounds contain the request.
+#[test]
+fn encode_contains_request() {
+    for_each_request(|base, top| {
+        let enc = bounds::encode(base, top);
+        assert!(enc.bounds.base as u64 <= base as u64, "base={base:#x} top={top:#x}");
+        assert!(enc.bounds.top >= top, "base={base:#x} top={top:#x}");
+        assert!(enc.bounds.top <= TOP_MAX, "base={base:#x} top={top:#x}");
+        // exactness flag is truthful
+        assert_eq!(enc.exact, enc.bounds == Bounds { base, top }, "base={base:#x} top={top:#x}");
+    });
+}
+
+/// The encoded field decodes to the same bounds at any representable
+/// address (round-trip through the 15-bit format).
+#[test]
+fn encode_decode_roundtrip() {
+    for_each_request(|base, top| {
         let enc = bounds::encode(base, top);
         let b = bounds::decode(enc.field, base);
-        prop_assert_eq!(b, enc.bounds);
+        assert_eq!(b, enc.bounds, "base={base:#x} top={top:#x}");
         // Also from an in-bounds address.
         let mid = ((enc.bounds.base as u64 + enc.bounds.top) / 2) as u32;
         let b2 = bounds::decode(enc.field, mid);
-        prop_assert_eq!(b2, enc.bounds);
-    }
+        assert_eq!(b2, enc.bounds, "base={base:#x} top={top:#x} mid={mid:#x}");
+    });
+}
 
-    /// Rounding never expands by more than one alignment granule on each
-    /// side (base rounded down, top rounded up to 2^(E+3)).
-    #[test]
-    fn rounding_is_bounded((base, top) in base_top()) {
+/// Rounding never expands by more than one alignment granule on each
+/// side (base rounded down, top rounded up to 2^(E+3)).
+#[test]
+fn rounding_is_bounded() {
+    for_each_request(|base, top| {
         let enc = bounds::encode(base, top);
         let len = top - base as u64;
         let m = bounds::decode_mantissa(enc.field);
         let granule = if enc.field.ie() { 1u64 << (m.e + 3) } else { 1 };
-        prop_assert!(enc.bounds.length() - len < 2 * granule);
-        prop_assert!(base as u64 - enc.bounds.base as u64 == 0 || enc.field.ie());
-    }
+        assert!(
+            enc.bounds.length() - len < 2 * granule,
+            "base={base:#x} top={top:#x} granule={granule}"
+        );
+        assert!(
+            base as u64 - enc.bounds.base as u64 == 0 || enc.field.ie(),
+            "base={base:#x} top={top:#x}"
+        );
+    });
+}
 
-    /// CRRL/CRAM agree: an aligned base + rounded length is always exact.
-    #[test]
-    fn crrl_cram_exact(len in any::<u32>(), baseword in any::<u32>()) {
+/// The retry-path regression in full: the encoder must round (2, 129)
+/// outward to [0, 144) at E = 1 and stay self-consistent at every
+/// in-bounds address.
+#[test]
+fn regression_2_129_retry_path() {
+    let enc = bounds::encode(2, 129);
+    assert!(!enc.exact);
+    assert_eq!(enc.bounds, Bounds { base: 0, top: 144 });
+    assert!(enc.field.ie());
+    assert_eq!(bounds::decode_mantissa(enc.field).e, 1);
+    for addr in 0..144u32 {
+        assert_eq!(bounds::decode(enc.field, addr), enc.bounds, "addr={addr}");
+        assert!(bounds::is_representable(enc.field, 2, addr), "addr={addr}");
+    }
+}
+
+/// CRRL/CRAM agree: an aligned base + rounded length is always exact.
+#[test]
+fn crrl_cram_exact() {
+    let mut r = Prng::seed_from_u64(0xC4A3_11E7);
+    for i in 0..CASES {
+        let (len, baseword) =
+            if i < 4096 { (i as u32, r.next_u32()) } else { (r.next_u32(), r.next_u32()) };
         let rl = bounds::representable_length(len);
+        assert!(rl >= len as u64);
         let mask = bounds::representable_alignment_mask(len);
         let base = baseword & mask;
         if base as u64 + rl <= TOP_MAX {
             let enc = bounds::encode(base, base as u64 + rl);
-            prop_assert!(enc.exact, "len={} rl={} mask={:#x} base={:#x}", len, rl, mask, base);
+            assert!(enc.exact, "len={len} rl={rl} mask={mask:#x} base={base:#x}");
         }
     }
+}
 
-    /// Any 15-bit pattern decodes to *some* bounds with top <= 2^33 and the
-    /// decode is a pure function of (field, addr) — no panics on junk.
-    #[test]
-    fn decode_total(raw in 0u16..(1 << 15), addr in any::<u32>()) {
+/// Any 15-bit pattern decodes to *some* bounds with top <= 2^33 and the
+/// decode is a pure function of (field, addr) — no panics on junk.
+#[test]
+fn decode_total() {
+    let mut r = Prng::seed_from_u64(0x00DE_C0DE);
+    for raw in 0u16..(1 << 15) {
+        let addr = r.next_u32();
         let b = bounds::decode(BoundsField(raw), addr);
-        prop_assert!(b.top < (1u64 << 33));
+        assert!(b.top < (1u64 << 33), "raw={raw:#x} addr={addr:#x}");
+        assert_eq!(b, bounds::decode(BoundsField(raw), addr), "decode must be pure");
     }
+}
 
-    /// Representability: staying inside the decoded bounds is always
-    /// representable (bounds are stable across in-bounds address moves).
-    #[test]
-    fn in_bounds_moves_are_representable((base, top) in base_top(), off in any::<u32>()) {
+/// Representability: staying inside the decoded bounds is always
+/// representable (bounds are stable across in-bounds address moves).
+#[test]
+fn in_bounds_moves_are_representable() {
+    let mut r = Prng::seed_from_u64(0x1B0);
+    for_each_request(|base, top| {
         let enc = bounds::encode(base, top);
         let len = enc.bounds.length();
         if len > 0 {
-            let addr = enc.bounds.base.wrapping_add((off as u64 % len) as u32);
-            prop_assert!(
+            let addr = enc.bounds.base.wrapping_add((r.next_u32() as u64 % len) as u32);
+            assert!(
                 bounds::is_representable(enc.field, base, addr),
-                "base={:#x} top={:#x} addr={:#x}", base, top, addr
+                "base={base:#x} top={top:#x} addr={addr:#x}"
             );
         }
-    }
+    });
+}
 
-    /// CapMem <-> CapPipe round-trips for arbitrary bit patterns.
-    #[test]
-    fn mem_pipe_roundtrip(bits in any::<u64>(), tag in any::<bool>()) {
-        let m = CapMem::from_bits(bits, tag);
+/// CapMem <-> CapPipe round-trips for arbitrary bit patterns.
+#[test]
+fn mem_pipe_roundtrip() {
+    let mut r = Prng::seed_from_u64(0x3E3);
+    for _ in 0..CASES {
+        let m = CapMem::from_bits(r.next_u64(), r.next_bool());
         let p = CapPipe::from_mem(m);
-        prop_assert_eq!(p.to_mem(), m);
+        assert_eq!(p.to_mem(), m, "{m:?}");
     }
+}
 
-    /// Monotonicity: any chain of derivations never widens rights.
-    #[test]
-    fn derivation_is_monotone(
-        addr in any::<u32>(),
-        len in 0u32..=1 << 20,
-        addr2_off in any::<u32>(),
-        len2 in 0u32..=1 << 20,
-        perm_mask in 0u16..(1 << 12),
-    ) {
+/// Monotonicity: any chain of derivations never widens rights.
+#[test]
+fn derivation_is_monotone() {
+    let mut r = Prng::seed_from_u64(0x3031);
+    for _ in 0..CASES {
+        let addr = r.next_u32();
+        let len = r.range_u32(0, (1 << 20) + 1);
+        let addr2_off = r.next_u32();
+        let len2 = r.range_u32(0, (1 << 20) + 1);
+        let perm_mask = (r.next_u32() & 0xFFF) as u16;
+
         let root = CapPipe::almighty();
         let (c1, _) = root.set_addr(addr).set_bounds(len);
         if c1.tag() && c1.length() > 0 {
@@ -119,41 +211,48 @@ proptest! {
             let (c2, _) = c1.set_addr(a2).set_bounds(len2);
             let c2 = c2.and_perm(Perms::from_bits(perm_mask));
             if c2.tag() {
-                prop_assert!(c2.base() >= c1.base());
-                prop_assert!(c2.top() <= c1.top());
-                prop_assert!(c1.perms().contains(c2.perms()));
+                assert!(c2.base() >= c1.base(), "addr={addr:#x} len={len} a2={a2:#x} len2={len2}");
+                assert!(c2.top() <= c1.top(), "addr={addr:#x} len={len} a2={a2:#x} len2={len2}");
+                assert!(c1.perms().contains(c2.perms()));
             }
         }
     }
+}
 
-    /// An access that check_access admits is always within the decoded
-    /// bounds; one that's out of bounds is always refused.
-    #[test]
-    fn check_access_agrees_with_bounds(
-        addr in any::<u32>(),
-        len in 1u32..=1 << 16,
-        probe in any::<u32>(),
-        w in prop::sample::select(vec![1u32, 2, 4]),
-    ) {
+/// An access that check_access admits is always within the decoded
+/// bounds; one that's out of bounds is always refused.
+#[test]
+fn check_access_agrees_with_bounds() {
+    let mut r = Prng::seed_from_u64(0x00AC_CE55);
+    for _ in 0..CASES {
+        let addr = r.next_u32();
+        let len = r.range_u32(1, (1 << 16) + 1);
+        let probe = r.next_u32();
+        let w = *r.choose(&[1u32, 2, 4]);
+
         let (c, _) = CapPipe::almighty().set_addr(addr).set_bounds(len);
         if c.tag() {
             let ok = c.check_access(probe, AccessWidth::from_bytes(w), false, false).is_ok();
-            let inside = probe as u64 >= c.base() as u64
-                && probe as u64 + w as u64 <= c.top();
-            prop_assert_eq!(ok, inside);
+            let inside = probe as u64 >= c.base() as u64 && probe as u64 + w as u64 <= c.top();
+            assert_eq!(ok, inside, "addr={addr:#x} len={len} probe={probe:#x} w={w}");
         }
     }
+}
 
-    /// set_bounds_exact only keeps the tag when the request was exact.
-    #[test]
-    fn set_bounds_exact_is_exact(addr in any::<u32>(), len in 0u32..=1 << 24) {
+/// set_bounds_exact only keeps the tag when the request was exact.
+#[test]
+fn set_bounds_exact_is_exact() {
+    let mut r = Prng::seed_from_u64(0x5E7B);
+    for _ in 0..CASES {
+        let addr = r.next_u32();
+        let len = r.range_u32(0, (1 << 24) + 1);
         let c = CapPipe::almighty().set_addr(addr);
         let e = c.set_bounds_exact(len);
-        let (r, exact) = c.set_bounds(len);
-        prop_assert_eq!(e.tag(), r.tag() && exact);
+        let (res, exact) = c.set_bounds(len);
+        assert_eq!(e.tag(), res.tag() && exact, "addr={addr:#x} len={len}");
         if e.tag() {
-            prop_assert_eq!(e.base(), addr);
-            prop_assert_eq!(e.top(), addr as u64 + len as u64);
+            assert_eq!(e.base(), addr);
+            assert_eq!(e.top(), addr as u64 + len as u64);
         }
     }
 }

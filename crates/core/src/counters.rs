@@ -30,7 +30,10 @@ impl StallBreakdown {
 }
 
 /// Statistics of one kernel run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` (not `Eq` — two fields are time-averaged `f64`s) lets the
+/// parallel-runner determinism tests compare whole suites structurally.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     /// Total cycles from launch to the last warp's termination.
     pub cycles: u64,
@@ -156,10 +159,8 @@ impl KernelStats {
         self.meta_rf.scalar_writes += other.meta_rf.scalar_writes;
         self.meta_rf.vector_writes += other.meta_rf.vector_writes;
         self.meta_rf.peak_resident = self.meta_rf.peak_resident.max(other.meta_rf.peak_resident);
-        self.peak_data_vrf_resident =
-            self.peak_data_vrf_resident.max(other.peak_data_vrf_resident);
-        self.peak_meta_vrf_resident =
-            self.peak_meta_vrf_resident.max(other.peak_meta_vrf_resident);
+        self.peak_data_vrf_resident = self.peak_data_vrf_resident.max(other.peak_data_vrf_resident);
+        self.peak_meta_vrf_resident = self.peak_meta_vrf_resident.max(other.peak_meta_vrf_resident);
         self.cap_regs_used = self.cap_regs_used.max(other.cap_regs_used);
         self.cap_regs_mask |= other.cap_regs_mask;
         self.sfu_requests += other.sfu_requests;

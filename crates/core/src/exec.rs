@@ -37,13 +37,7 @@ pub fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
                 sa.wrapping_div(sb) as u32
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulOp::Rem => {
             if b == 0 {
                 a

@@ -60,3 +60,16 @@ pub use config::{CheriMode, CheriOpts, SmConfig, Timing};
 pub use counters::{KernelStats, StallBreakdown};
 pub use sm::{Sm, TraceEntry};
 pub use trap::{RunError, Trap, TrapCause};
+
+// Send audit: the parallel suite runner simulates one whole SM per worker
+// thread, so the simulator state — and everything it returns — must stay
+// `Send`. Keeping this a compile-time check means a future `Rc`/`RefCell`
+// (or other non-`Send` state) inside the model breaks the build here, not
+// the runner's callers.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sm>();
+    assert_send::<SmConfig>();
+    assert_send::<KernelStats>();
+    assert_send::<RunError>();
+};

@@ -210,7 +210,7 @@ impl Sm {
     ///
     /// Panics unless the block size divides the warp count.
     pub fn set_block_warps(&mut self, warps: u32) {
-        assert!(warps >= 1 && self.cfg.warps % warps == 0, "blocks must tile the SM");
+        assert!(warps >= 1 && self.cfg.warps.is_multiple_of(warps), "blocks must tile the SM");
         self.block_warps = warps;
     }
 
@@ -245,8 +245,11 @@ impl Sm {
         self.warps = (0..self.cfg.warps)
             .map(|_| Warp::new(self.cfg.lanes, map::TCIM_BASE, pcc_meta, static_pcc))
             .collect();
-        self.data_rf =
-            CompressedRegFile::new(RfConfig::data(self.cfg.warps, self.cfg.lanes, self.cfg.vrf_slots));
+        self.data_rf = CompressedRegFile::new(RfConfig::data(
+            self.cfg.warps,
+            self.cfg.lanes,
+            self.cfg.vrf_slots,
+        ));
         if let Some(meta_cfg) = self.meta_rf.as_ref().map(|m| *m.config()) {
             self.meta_rf = Some(CompressedRegFile::new(meta_cfg));
         }
@@ -352,9 +355,8 @@ impl Sm {
         while b < n {
             let group = b..(b + per_block).min(n);
             let any_blocked = group.clone().any(|w| self.warps[w].blocked_at_barrier());
-            let all_parked = group
-                .clone()
-                .all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
+            let all_parked =
+                group.clone().all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
             if any_blocked && all_parked {
                 for w in group {
                     let warp = &mut self.warps[w];
@@ -376,7 +378,13 @@ impl Sm {
         self.opts.is_some()
     }
 
-    fn read_data(&mut self, w: u32, reg: Reg, out: &mut [u64; MAX_LANES], costs: &mut Costs) -> ReadInfo {
+    fn read_data(
+        &mut self,
+        w: u32,
+        reg: Reg,
+        out: &mut [u64; MAX_LANES],
+        costs: &mut Costs,
+    ) -> ReadInfo {
         if reg.is_zero() {
             out[..self.cfg.lanes as usize].fill(0);
             return ReadInfo::default();
@@ -386,7 +394,13 @@ impl Sm {
         info
     }
 
-    fn read_meta(&mut self, w: u32, reg: Reg, out: &mut [u64; MAX_LANES], costs: &mut Costs) -> ReadInfo {
+    fn read_meta(
+        &mut self,
+        w: u32,
+        reg: Reg,
+        out: &mut [u64; MAX_LANES],
+        costs: &mut Costs,
+    ) -> ReadInfo {
         if reg.is_zero() {
             out[..self.cfg.lanes as usize].fill(NULL_META);
             return ReadInfo::default();
@@ -469,7 +483,7 @@ impl Sm {
     // ---- The issue path ----
 
     fn trap(&self, w: u32, sel: &Selection, lane: u32, cause: TrapCause) -> Trap {
-        Trap { warp: w as u32, lane, pc: sel.pc, cause }
+        Trap { warp: w, lane, pc: sel.pc, cause }
     }
 
     fn issue(&mut self, w: usize) -> Result<(), RunError> {
@@ -495,7 +509,12 @@ impl Sm {
             Some(i) => i,
             None => {
                 return Err(self
-                    .trap(wid, &sel, sel.mask.trailing_zeros(), TrapCause::IllegalInstr(self.imem_raw[idx]))
+                    .trap(
+                        wid,
+                        &sel,
+                        sel.mask.trailing_zeros(),
+                        TrapCause::IllegalInstr(self.imem_raw[idx]),
+                    )
                     .into())
             }
         };
@@ -655,8 +674,23 @@ impl Sm {
                         1,
                     );
                 }
-                self.do_load_store(w, sel, rs1, Some(rd), Reg::ZERO, off, lw.bytes(), false, false, lw, costs)?;
-                return Ok(self.advance(w, sel, &next_pc, None));
+                self.do_load_store(
+                    w,
+                    sel,
+                    rs1,
+                    Some(rd),
+                    Reg::ZERO,
+                    off,
+                    lw.bytes(),
+                    false,
+                    false,
+                    lw,
+                    costs,
+                )?;
+                return {
+                    self.advance(w, sel, &next_pc, None);
+                    Ok(())
+                };
             }
             Instr::Store { w: sw, rs2, rs1, off } => {
                 if cheri {
@@ -669,15 +703,45 @@ impl Sm {
                         1,
                     );
                 }
-                self.do_load_store(w, sel, rs1, None, rs2, off, sw.bytes(), true, false, LoadWidth::W, costs)?;
-                return Ok(self.advance(w, sel, &next_pc, None));
+                self.do_load_store(
+                    w,
+                    sel,
+                    rs1,
+                    None,
+                    rs2,
+                    off,
+                    sw.bytes(),
+                    true,
+                    false,
+                    LoadWidth::W,
+                    costs,
+                )?;
+                return {
+                    self.advance(w, sel, &next_pc, None);
+                    Ok(())
+                };
             }
             Instr::Clc { cd, cs1, off } => {
                 self.stats.count_cheri("CLC", 1);
                 self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
                 costs.extra_cycles += self.cfg.timing.cap_access_extra;
-                self.do_load_store(w, sel, cs1, Some(cd), Reg::ZERO, off, 8, false, true, LoadWidth::W, costs)?;
-                return Ok(self.advance(w, sel, &next_pc, None));
+                self.do_load_store(
+                    w,
+                    sel,
+                    cs1,
+                    Some(cd),
+                    Reg::ZERO,
+                    off,
+                    8,
+                    false,
+                    true,
+                    LoadWidth::W,
+                    costs,
+                )?;
+                return {
+                    self.advance(w, sel, &next_pc, None);
+                    Ok(())
+                };
             }
             Instr::Csc { cs2, cs1, off } => {
                 self.stats.count_cheri("CSC", 1);
@@ -692,8 +756,23 @@ impl Sm {
                         self.stats.stalls.csc_serialisation += 1;
                     }
                 }
-                self.do_load_store(w, sel, cs1, None, cs2, off, 8, true, true, LoadWidth::W, costs)?;
-                return Ok(self.advance(w, sel, &next_pc, None));
+                self.do_load_store(
+                    w,
+                    sel,
+                    cs1,
+                    None,
+                    cs2,
+                    off,
+                    8,
+                    true,
+                    true,
+                    LoadWidth::W,
+                    costs,
+                )?;
+                return {
+                    self.advance(w, sel, &next_pc, None);
+                    Ok(())
+                };
             }
             Instr::OpImm { op, rd, rs1, imm } => {
                 self.read_data(w, rs1, &mut a, costs);
@@ -718,9 +797,13 @@ impl Sm {
                 }
                 if matches!(
                     op,
-                    simt_isa::MulOp::Div | simt_isa::MulOp::Divu | simt_isa::MulOp::Rem | simt_isa::MulOp::Remu
+                    simt_isa::MulOp::Div
+                        | simt_isa::MulOp::Divu
+                        | simt_isa::MulOp::Rem
+                        | simt_isa::MulOp::Remu
                 ) {
-                    self.warps[w as usize].ready_at = self.cycle + self.cfg.timing.div_latency as u64;
+                    self.warps[w as usize].ready_at =
+                        self.cycle + self.cfg.timing.div_latency as u64;
                 }
                 write_rd = Some(rd);
             }
@@ -730,7 +813,10 @@ impl Sm {
                 }
                 self.read_data(w, rs2, &mut b, costs);
                 self.do_amo(w, sel, rs1, rd, op, &b, costs)?;
-                return Ok(self.advance(w, sel, &next_pc, None));
+                return {
+                    self.advance(w, sel, &next_pc, None);
+                    Ok(())
+                };
             }
             Instr::Fence => {}
             Instr::Ecall | Instr::Ebreak => {
@@ -930,9 +1016,9 @@ impl Sm {
         status_change: Option<ThreadStatus>,
     ) {
         let warp = &mut self.warps[w as usize];
-        for i in 0..self.cfg.lanes as usize {
+        for (i, &pc) in next_pc.iter().enumerate().take(self.cfg.lanes as usize) {
             if sel.mask >> i & 1 == 1 {
-                warp.pc[i] = next_pc[i];
+                warp.pc[i] = pc;
                 if let Some(s) = status_change {
                     warp.status[i] = s;
                 }
@@ -954,6 +1040,7 @@ impl Sm {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_cap_unary(
         &mut self,
         w: u32,
@@ -1016,7 +1103,10 @@ impl Sm {
                 }
             }
         }
-        if matches!(op, UnaryCapOp::GetBase | UnaryCapOp::GetLen | UnaryCapOp::Crrl | UnaryCapOp::Cram) {
+        if matches!(
+            op,
+            UnaryCapOp::GetBase | UnaryCapOp::GetLen | UnaryCapOp::Crrl | UnaryCapOp::Cram
+        ) {
             self.cap_sfu_suspend(w, sel);
         }
     }
@@ -1168,6 +1258,7 @@ impl Sm {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_amo(
         &mut self,
         w: u32,
@@ -1257,16 +1348,20 @@ impl Sm {
 
     /// Charge the timing/traffic of one warp-wide memory access and suspend
     /// the warp until the data returns.
-    fn charge_memory(&mut self, w: u32, dram_reqs: &[LaneRequest], scratch_reqs: &[LaneRequest], is_store: bool) {
+    fn charge_memory(
+        &mut self,
+        w: u32,
+        dram_reqs: &[LaneRequest],
+        scratch_reqs: &[LaneRequest],
+        is_store: bool,
+    ) {
         let mut done_at = self.cycle;
         // Compressed stack cache (Section 4.4 proof of concept): a
         // warp-uniform or affine access pattern — the shape of register
         // spill traffic — is served from a small compressed cache instead
         // of DRAM.
         let in_stack = |r: &LaneRequest| {
-            self.stack_region
-                .map(|(b, sz)| r.addr >= b && r.addr < b + sz)
-                .unwrap_or(false)
+            self.stack_region.map(|(b, sz)| r.addr >= b && r.addr < b + sz).unwrap_or(false)
         };
         let dram_reqs: &[LaneRequest] = if self.cfg.stack_cache
             && dram_reqs.len() > 1
@@ -1295,8 +1390,7 @@ impl Sm {
         }
         if !scratch_reqs.is_empty() {
             let cycles = self.scratch.warp_cycles(scratch_reqs);
-            done_at =
-                done_at.max(self.cycle + (self.cfg.timing.scratch_latency + cycles) as u64);
+            done_at = done_at.max(self.cycle + (self.cfg.timing.scratch_latency + cycles) as u64);
         }
         let warp = &mut self.warps[w as usize];
         warp.ready_at = warp.ready_at.max(done_at);

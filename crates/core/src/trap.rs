@@ -49,7 +49,11 @@ pub struct Trap {
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trap in warp {} lane {} at pc {:#010x}: {}", self.warp, self.lane, self.pc, self.cause)
+        write!(
+            f,
+            "trap in warp {} lane {} at pc {:#010x}: {}",
+            self.warp, self.lane, self.pc, self.cause
+        )
     }
 }
 

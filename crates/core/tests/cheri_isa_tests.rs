@@ -99,10 +99,9 @@ fn candperm_removes_rights_monotonically() {
     a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A3, rs1: Reg::A2, off: 0 }); // trap
     a.terminate();
     match run_with(a.assemble(), arg_cap(), CheriOpts::optimised()) {
-        Err(RunError::Trap(t)) => assert_eq!(
-            t.cause,
-            TrapCause::Cheri(cheri_cap::CapException::PermitStoreViolation)
-        ),
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(cheri_cap::CapException::PermitStoreViolation))
+        }
         other => panic!("{other:?}"),
     }
 }
@@ -204,7 +203,7 @@ fn cjalr_calls_through_sentries_and_returns() {
     a.push(Instr::CapUnary { op: UnaryCapOp::SealEntry, rd: Reg::A0, cs1: Reg::A0 });
     a.push(Instr::CapUnary { op: UnaryCapOp::GetSealed, rd: Reg::A1, cs1: Reg::A0 });
     a.push(Instr::Jalr { rd: Reg::RA, rs1: Reg::A0, off: 0 }); // CJALR via the sentry
-    // Return point: store 9, then the sealedness observed earlier.
+                                                               // Return point: store 9, then the sealedness observed earlier.
     a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::ZERO, imm: 9 });
     store_out(&mut a, Reg::A2, 1);
     store_out(&mut a, Reg::A1, 2);
@@ -224,10 +223,9 @@ fn jumping_through_a_data_capability_traps() {
     a.push(Instr::Jalr { rd: Reg::RA, rs1: Reg::A0, off: 0 });
     a.terminate();
     match run_with(a.assemble(), arg_cap(), CheriOpts::optimised()) {
-        Err(RunError::Trap(t)) => assert_eq!(
-            t.cause,
-            TrapCause::Cheri(cheri_cap::CapException::PermitExecuteViolation)
-        ),
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(cheri_cap::CapException::PermitExecuteViolation))
+        }
         other => panic!("{other:?}"),
     }
 }

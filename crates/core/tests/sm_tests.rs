@@ -226,7 +226,7 @@ fn figure1_overread_demo() {
     a.li(Reg::A0, DATA);
     a.li(Reg::A1, 0xDA1A);
     a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A1, rs1: Reg::A0, off: 0 });
-    a.li(Reg::A2, SECRET_VAL as u32);
+    a.li(Reg::A2, SECRET_VAL);
     a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, off: 4 });
     a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A3, rs1: Reg::A0, off: 4 }); // ptr[1]
     a.li(Reg::A4, map::DRAM_BASE);
@@ -361,7 +361,7 @@ fn branch_cond_coverage() {
     let conds = [
         (BranchCond::Eq, 0u32),
         (BranchCond::Ne, 1),
-        (BranchCond::Lt, 1),  // -1 < 1 signed
+        (BranchCond::Lt, 1), // -1 < 1 signed
         (BranchCond::Ge, 0),
         (BranchCond::Ltu, 0), // 0xFFFF_FFFF < 1 unsigned is false
         (BranchCond::Geu, 1),

@@ -88,10 +88,7 @@ fn sfu_serialises_lanes() {
     let more = run(cfg, prog(11), |_| {});
     let per_div = (more.cycles - base.cycles) / 10;
     let expect = cfg.timing.sfu_latency as u64 + 16;
-    assert!(
-        per_div >= expect && per_div <= expect + 4,
-        "per_div {per_div} vs expected ~{expect}"
-    );
+    assert!(per_div >= expect && per_div <= expect + 4, "per_div {per_div} vs expected ~{expect}");
     assert_eq!(more.sfu_requests, 11);
 }
 
@@ -119,8 +116,7 @@ fn csc_and_multi_flit_accounting() {
     assert_eq!(opt.stalls.csc_serialisation, 1);
     assert_eq!(opt.stalls.cap_multi_flit, 2); // one CSC + one CLC
 
-    let naive =
-        run(SmConfig::with_geometry(1, 8, CheriMode::On(CheriOpts::naive())), prog, setup);
+    let naive = run(SmConfig::with_geometry(1, 8, CheriMode::On(CheriOpts::naive())), prog, setup);
     assert_eq!(naive.stalls.csc_serialisation, 0, "naive meta RF has full ports");
     assert_eq!(naive.stalls.cap_multi_flit, 2);
 }

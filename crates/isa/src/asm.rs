@@ -185,7 +185,10 @@ mod tests {
         a.terminate();
         let words = a.assemble();
         let decoded: Vec<Instr> = words.iter().map(|&w| Instr::decode(w).unwrap()).collect();
-        assert_eq!(decoded[1], Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A1, rs2: Reg::ZERO, off: 8 });
+        assert_eq!(
+            decoded[1],
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A1, rs2: Reg::ZERO, off: 8 }
+        );
         assert_eq!(decoded[2], Instr::Jal { rd: Reg::ZERO, off: -8 });
     }
 

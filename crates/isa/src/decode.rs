@@ -42,10 +42,10 @@ fn imm_s(w: u32) -> i32 {
 #[inline]
 fn imm_b(w: u32) -> i32 {
     let sign = (w as i32) >> 31; // bit 12 of the offset, sign-extended
-    ((sign << 12)
+    (sign << 12)
         | (((w >> 7) & 1) as i32) << 11
         | (((w >> 25) & 0x3F) as i32) << 5
-        | (((w >> 8) & 0xF) as i32) << 1) as i32
+        | (((w >> 8) & 0xF) as i32) << 1
 }
 
 #[inline]
@@ -198,11 +198,9 @@ impl Instr {
             },
             OP_CHERI => match funct3(w) {
                 cheri_f3::REG => match funct7(w) {
-                    cheri_f7::UNARY => CapUnary {
-                        op: unary_from_code((w >> 20) & 0x1F)?,
-                        rd: rd(w),
-                        cs1: rs1(w),
-                    },
+                    cheri_f7::UNARY => {
+                        CapUnary { op: unary_from_code((w >> 20) & 0x1F)?, rd: rd(w), cs1: rs1(w) }
+                    }
                     cheri_f7::AND_PERM => CAndPerm { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
                     cheri_f7::SET_FLAGS => CSetFlags { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
                     cheri_f7::SET_ADDR => CSetAddr { cd: rd(w), cs1: rs1(w), rs2: rs2(w) },
@@ -219,9 +217,7 @@ impl Instr {
                 cheri_f3::SET_BOUNDS_IMM => {
                     CSetBoundsImm { cd: rd(w), cs1: rs1(w), imm: (w >> 20) & 0xFFF }
                 }
-                cheri_f3::INC_OFFSET_IMM => {
-                    CIncOffsetImm { cd: rd(w), cs1: rs1(w), imm: imm_i(w) }
-                }
+                cheri_f3::INC_OFFSET_IMM => CIncOffsetImm { cd: rd(w), cs1: rs1(w), imm: imm_i(w) },
                 cheri_f3::CLC => Clc { cd: rd(w), cs1: rs1(w), off: imm_i(w) },
                 cheri_f3::CSC => Csc { cs2: rs2(w), cs1: rs1(w), off: imm_s(w) },
                 _ => return None,

@@ -84,7 +84,12 @@ pub(crate) fn unary_from_code(code: u32) -> Option<UnaryCapOp> {
 }
 
 fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2f: u32) -> u32 {
-    (funct7 << 25) | (rs2f << 20) | (rs1.field() << 15) | (funct3 << 12) | (rd.field() << 7) | opcode
+    (funct7 << 25)
+        | (rs2f << 20)
+        | (rs1.field() << 15)
+        | (funct3 << 12)
+        | (rd.field() << 7)
+        | opcode
 }
 
 fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {

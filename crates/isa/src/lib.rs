@@ -37,8 +37,7 @@ mod instr;
 mod reg;
 
 pub use instr::{
-    AluOp, AmoOp, BranchCond, FcmpOp, FpOp, Instr, LoadWidth, MulOp, SimtOp, StoreWidth,
-    UnaryCapOp,
+    AluOp, AmoOp, BranchCond, FcmpOp, FpOp, Instr, LoadWidth, MulOp, SimtOp, StoreWidth, UnaryCapOp,
 };
 pub use reg::Reg;
 

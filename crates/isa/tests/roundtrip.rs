@@ -1,26 +1,29 @@
-//! Encode/decode roundtrip over the whole instruction space.
+//! Encode/decode roundtrip over the whole instruction space, driven by a
+//! seeded deterministic PRNG (the workspace builds offline, so no proptest).
 
-use proptest::prelude::*;
+use sim_prng::Prng;
 use simt_isa::*;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const CASES: usize = 8192;
+
+fn reg(r: &mut Prng) -> Reg {
+    Reg::new(r.range_u32(0, 32) as u8)
 }
 
-fn imm12() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+fn imm12(r: &mut Prng) -> i32 {
+    r.range_i32(-2048, 2048)
 }
 
-fn branch_off() -> impl Strategy<Value = i32> {
-    (-2048i32..=2047).prop_map(|x| x * 2)
+fn branch_off(r: &mut Prng) -> i32 {
+    r.range_i32(-2048, 2048) * 2
 }
 
-fn jump_off() -> impl Strategy<Value = i32> {
-    (-(1 << 19)..(1 << 19)).prop_map(|x: i32| x * 2)
+fn jump_off(r: &mut Prng) -> i32 {
+    r.range_i32(-(1 << 19), 1 << 19) * 2
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
+fn alu_op(r: &mut Prng) -> AluOp {
+    *r.choose(&[
         AluOp::Add,
         AluOp::Sub,
         AluOp::Sll,
@@ -34,59 +37,51 @@ fn alu_op() -> impl Strategy<Value = AluOp> {
     ])
 }
 
-fn instr() -> impl Strategy<Value = Instr> {
-    let r = reg;
-    prop_oneof![
-        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm: imm & 0xFFFF_F000 }),
-        (r(), any::<u32>()).prop_map(|(rd, imm)| Instr::Auipc { rd, imm: imm & 0xFFFF_F000 }),
-        (r(), jump_off()).prop_map(|(rd, off)| Instr::Jal { rd, off }),
-        (r(), r(), imm12()).prop_map(|(rd, rs1, off)| Instr::Jalr { rd, rs1, off }),
-        (
-            prop::sample::select(vec![
+fn instr(r: &mut Prng) -> Instr {
+    match r.range_u32(0, 26) {
+        0 => Instr::Lui { rd: reg(r), imm: r.next_u32() & 0xFFFF_F000 },
+        1 => Instr::Auipc { rd: reg(r), imm: r.next_u32() & 0xFFFF_F000 },
+        2 => Instr::Jal { rd: reg(r), off: jump_off(r) },
+        3 => Instr::Jalr { rd: reg(r), rs1: reg(r), off: imm12(r) },
+        4 => Instr::Branch {
+            cond: *r.choose(&[
                 BranchCond::Eq,
                 BranchCond::Ne,
                 BranchCond::Lt,
                 BranchCond::Ge,
                 BranchCond::Ltu,
-                BranchCond::Geu
+                BranchCond::Geu,
             ]),
-            r(),
-            r(),
-            branch_off()
-        )
-            .prop_map(|(cond, rs1, rs2, off)| Instr::Branch { cond, rs1, rs2, off }),
-        (
-            prop::sample::select(vec![
-                LoadWidth::B,
-                LoadWidth::H,
-                LoadWidth::W,
-                LoadWidth::Bu,
-                LoadWidth::Hu
-            ]),
-            r(),
-            r(),
-            imm12()
-        )
-            .prop_map(|(w, rd, rs1, off)| Instr::Load { w, rd, rs1, off }),
-        (
-            prop::sample::select(vec![StoreWidth::B, StoreWidth::H, StoreWidth::W]),
-            r(),
-            r(),
-            imm12()
-        )
-            .prop_map(|(w, rs2, rs1, off)| Instr::Store { w, rs2, rs1, off }),
-        (alu_op(), r(), r(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+            rs1: reg(r),
+            rs2: reg(r),
+            off: branch_off(r),
+        },
+        5 => Instr::Load {
+            w: *r.choose(&[LoadWidth::B, LoadWidth::H, LoadWidth::W, LoadWidth::Bu, LoadWidth::Hu]),
+            rd: reg(r),
+            rs1: reg(r),
+            off: imm12(r),
+        },
+        6 => Instr::Store {
+            w: *r.choose(&[StoreWidth::B, StoreWidth::H, StoreWidth::W]),
+            rs2: reg(r),
+            rs1: reg(r),
+            off: imm12(r),
+        },
+        7 => {
+            let op = alu_op(r);
+            let imm = imm12(r);
             let imm = match op {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
                 _ => imm,
             };
             // subi does not exist; degrade to addi
             let op = if op == AluOp::Sub { AluOp::Add } else { op };
-            Instr::OpImm { op, rd, rs1, imm }
-        }),
-        (alu_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (
-            prop::sample::select(vec![
+            Instr::OpImm { op, rd: reg(r), rs1: reg(r), imm }
+        }
+        8 => Instr::Op { op: alu_op(r), rd: reg(r), rs1: reg(r), rs2: reg(r) },
+        9 => Instr::MulDiv {
+            op: *r.choose(&[
                 MulOp::Mul,
                 MulOp::Mulh,
                 MulOp::Mulhsu,
@@ -94,15 +89,14 @@ fn instr() -> impl Strategy<Value = Instr> {
                 MulOp::Div,
                 MulOp::Divu,
                 MulOp::Rem,
-                MulOp::Remu
+                MulOp::Remu,
             ]),
-            r(),
-            r(),
-            r()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
-        (
-            prop::sample::select(vec![
+            rd: reg(r),
+            rs1: reg(r),
+            rs2: reg(r),
+        },
+        10 => Instr::Amo {
+            op: *r.choose(&[
                 AmoOp::Swap,
                 AmoOp::Add,
                 AmoOp::Xor,
@@ -111,28 +105,30 @@ fn instr() -> impl Strategy<Value = Instr> {
                 AmoOp::Min,
                 AmoOp::Max,
                 AmoOp::Minu,
-                AmoOp::Maxu
+                AmoOp::Maxu,
             ]),
-            r(),
-            r(),
-            r()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Amo { op, rd, rs1, rs2 }),
-        (r(), 0u16..4096, r()).prop_map(|(rd, csr, rs1)| Instr::Csrrs { rd, csr, rs1 }),
-        (
-            prop::sample::select(vec![FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max]),
-            r(),
-            r(),
-            r()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FOp { op, rd, rs1, rs2 }),
-        (r(), r()).prop_map(|(rd, rs1)| Instr::FSqrt { rd, rs1 }),
-        (prop::sample::select(vec![FcmpOp::Eq, FcmpOp::Lt, FcmpOp::Le]), r(), r(), r())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FCmp { op, rd, rs1, rs2 }),
-        (r(), r(), any::<bool>()).prop_map(|(rd, rs1, signed)| Instr::FCvtWS { rd, rs1, signed }),
-        (r(), r(), any::<bool>()).prop_map(|(rd, rs1, signed)| Instr::FCvtSW { rd, rs1, signed }),
-        (
-            prop::sample::select(vec![
+            rd: reg(r),
+            rs1: reg(r),
+            rs2: reg(r),
+        },
+        11 => Instr::Csrrs { rd: reg(r), csr: r.range_u32(0, 4096) as u16, rs1: reg(r) },
+        12 => Instr::FOp {
+            op: *r.choose(&[FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max]),
+            rd: reg(r),
+            rs1: reg(r),
+            rs2: reg(r),
+        },
+        13 => Instr::FSqrt { rd: reg(r), rs1: reg(r) },
+        14 => Instr::FCmp {
+            op: *r.choose(&[FcmpOp::Eq, FcmpOp::Lt, FcmpOp::Le]),
+            rd: reg(r),
+            rs1: reg(r),
+            rs2: reg(r),
+        },
+        15 => Instr::FCvtWS { rd: reg(r), rs1: reg(r), signed: r.next_bool() },
+        16 => Instr::FCvtSW { rd: reg(r), rs1: reg(r), signed: r.next_bool() },
+        17 => Instr::CapUnary {
+            op: *r.choose(&[
                 UnaryCapOp::GetTag,
                 UnaryCapOp::ClearTag,
                 UnaryCapOp::GetPerm,
@@ -145,52 +141,68 @@ fn instr() -> impl Strategy<Value = Instr> {
                 UnaryCapOp::Move,
                 UnaryCapOp::SealEntry,
                 UnaryCapOp::Crrl,
-                UnaryCapOp::Cram
+                UnaryCapOp::Cram,
             ]),
-            r(),
-            r()
-        )
-            .prop_map(|(op, rd, cs1)| Instr::CapUnary { op, rd, cs1 }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CAndPerm { cd, cs1, rs2 }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetFlags { cd, cs1, rs2 }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetAddr { cd, cs1, rs2 }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CIncOffset { cd, cs1, rs2 }),
-        (r(), r(), imm12()).prop_map(|(cd, cs1, imm)| Instr::CIncOffsetImm { cd, cs1, imm }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetBounds { cd, cs1, rs2 }),
-        (r(), r(), r()).prop_map(|(cd, cs1, rs2)| Instr::CSetBoundsExact { cd, cs1, rs2 }),
-        (r(), r(), 0u32..4096).prop_map(|(cd, cs1, imm)| Instr::CSetBoundsImm { cd, cs1, imm }),
-        (r(), r(), imm12()).prop_map(|(cd, cs1, off)| Instr::Clc { cd, cs1, off }),
-        (r(), r(), imm12()).prop_map(|(cs2, cs1, off)| Instr::Csc { cs2, cs1, off }),
-        (r(), r(), 0u8..32).prop_map(|(cd, cs1, scr)| Instr::CSpecialRw { cd, cs1, scr }),
-        prop::sample::select(vec![
-            Instr::Fence,
-            Instr::Ecall,
-            Instr::Ebreak,
-            Instr::Simt { op: SimtOp::Terminate },
-            Instr::Simt { op: SimtOp::Barrier }
-        ]),
-    ]
+            rd: reg(r),
+            cs1: reg(r),
+        },
+        18 => Instr::CAndPerm { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+        19 => Instr::CSetFlags { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+        20 => Instr::CSetAddr { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+        21 => match r.range_u32(0, 2) {
+            0 => Instr::CIncOffset { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+            _ => Instr::CIncOffsetImm { cd: reg(r), cs1: reg(r), imm: imm12(r) },
+        },
+        22 => match r.range_u32(0, 3) {
+            0 => Instr::CSetBounds { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+            1 => Instr::CSetBoundsExact { cd: reg(r), cs1: reg(r), rs2: reg(r) },
+            _ => Instr::CSetBoundsImm { cd: reg(r), cs1: reg(r), imm: r.range_u32(0, 4096) },
+        },
+        23 => Instr::Clc { cd: reg(r), cs1: reg(r), off: imm12(r) },
+        24 => Instr::Csc { cs2: reg(r), cs1: reg(r), off: imm12(r) },
+        25 => match r.range_u32(0, 6) {
+            0 => Instr::CSpecialRw { cd: reg(r), cs1: reg(r), scr: r.range_u32(0, 32) as u8 },
+            1 => Instr::Fence,
+            2 => Instr::Ecall,
+            3 => Instr::Ebreak,
+            4 => Instr::Simt { op: SimtOp::Terminate },
+            _ => Instr::Simt { op: SimtOp::Barrier },
+        },
+        _ => unreachable!(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// Every instruction round-trips through its 32-bit encoding.
-    #[test]
-    fn encode_decode_roundtrip(i in instr()) {
+/// Every instruction round-trips through its 32-bit encoding.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut r = Prng::seed_from_u64(0x15A_0001);
+    for _ in 0..CASES {
+        let i = instr(&mut r);
         let w = i.encode();
-        prop_assert_eq!(Instr::decode(w), Some(i), "word={:#010x}", w);
+        assert_eq!(Instr::decode(w), Some(i), "word={w:#010x} instr={i:?}");
     }
+}
 
-    /// Disassembly never panics and is never empty.
-    #[test]
-    fn disasm_total(i in instr()) {
-        prop_assert!(!i.to_string().is_empty());
+/// Disassembly never panics and is never empty.
+#[test]
+fn disasm_total() {
+    let mut r = Prng::seed_from_u64(0x15A_0002);
+    for _ in 0..CASES {
+        let i = instr(&mut r);
+        assert!(!i.to_string().is_empty(), "{i:?}");
     }
+}
 
-    /// Decode is total over arbitrary words (no panics).
-    #[test]
-    fn decode_total(w in any::<u32>()) {
-        let _ = Instr::decode(w);
+/// Decode is total over arbitrary words (no panics).
+#[test]
+fn decode_total() {
+    let mut r = Prng::seed_from_u64(0x15A_0003);
+    for _ in 0..CASES {
+        let _ = Instr::decode(r.next_u32());
+    }
+    // And over structured junk: every opcode with zeroed/set fields.
+    for opc in 0u32..128 {
+        let _ = Instr::decode(opc);
+        let _ = Instr::decode(opc | 0xFFFF_FF80);
     }
 }

@@ -18,7 +18,9 @@ use crate::expr::*;
 use crate::layout::{ArgLayout, ArgSlot, BLOCK_DIM_OFFSET, GRID_DIM_OFFSET};
 use crate::Mode;
 use simt_isa::asm::{Assembler, Label};
-use simt_isa::{csr, scr, AluOp, BranchCond, FcmpOp, FpOp, Instr, LoadWidth, MulOp, Reg, StoreWidth, UnaryCapOp};
+use simt_isa::{
+    csr, scr, AluOp, BranchCond, FcmpOp, FpOp, Instr, LoadWidth, MulOp, Reg, StoreWidth, UnaryCapOp,
+};
 use simt_mem::map;
 
 /// Fixed memory-plan constants baked into generated code. The host runtime
@@ -36,11 +38,7 @@ pub struct MemPlan {
 impl Default for MemPlan {
     fn default() -> Self {
         let usable = map::DRAM_DEFAULT_SIZE - map::tag_region_bytes(map::DRAM_DEFAULT_SIZE);
-        MemPlan {
-            arg_base: map::DRAM_BASE,
-            stack_top: map::DRAM_BASE + usable,
-            stack_size: 512,
-        }
+        MemPlan { arg_base: map::DRAM_BASE, stack_top: map::DRAM_BASE + usable, stack_size: 512 }
     }
 }
 
@@ -314,11 +312,7 @@ impl<'k> Codegen<'k> {
         let trap = asm.label();
         // Register pool: everything but zero and SP. Kernels are fully
         // inlined (no calls), so ra/gp/tp are ordinary registers here.
-        let mut pool: Vec<Reg> = [1u8, 3, 4]
-            .into_iter()
-            .chain(5..32)
-            .map(Reg::new)
-            .collect();
+        let mut pool: Vec<Reg> = [1u8, 3, 4].into_iter().chain(5..32).map(Reg::new).collect();
         // Capability-register limit (pure-capability mode only): carve out
         // the low-index registers as the exclusive home of pointer values.
         let mut cap_pool = match (mode, cap_reg_limit) {
@@ -331,20 +325,18 @@ impl<'k> Codegen<'k> {
             _ => None,
         };
         let take = |n: &mut Vec<Reg>| n.remove(0);
-        let take_ptr = |cap: &mut Option<Vec<Reg>>, pool: &mut Vec<Reg>, what: &str| {
-            match cap {
-                Some(c) if c.is_empty() => Err(CompileError::RegisterPressure(format!(
-                    "capability-register limit exhausted pinning {what}"
-                ))),
-                Some(c) => Ok(c.remove(0)),
-                None => {
-                    if pool.is_empty() {
-                        return Err(CompileError::RegisterPressure(format!(
-                            "register pool exhausted pinning {what}"
-                        )));
-                    }
-                    Ok(pool.remove(0))
+        let take_ptr = |cap: &mut Option<Vec<Reg>>, pool: &mut Vec<Reg>, what: &str| match cap {
+            Some(c) if c.is_empty() => Err(CompileError::RegisterPressure(format!(
+                "capability-register limit exhausted pinning {what}"
+            ))),
+            Some(c) => Ok(c.remove(0)),
+            None => {
+                if pool.is_empty() {
+                    return Err(CompileError::RegisterPressure(format!(
+                        "register pool exhausted pinning {what}"
+                    )));
                 }
+                Ok(pool.remove(0))
             }
         };
 
@@ -360,9 +352,7 @@ impl<'k> Codegen<'k> {
         for p in &k.params {
             let loc = match (p.ty, fat) {
                 (Ty::Ptr(_), true) => Loc::Fat(take(&mut pool), take(&mut pool)),
-                (Ty::Ptr(_), false) => {
-                    Loc::Reg(take_ptr(&mut cap_pool, &mut pool, &p.name)?)
-                }
+                (Ty::Ptr(_), false) => Loc::Reg(take_ptr(&mut cap_pool, &mut pool, &p.name)?),
                 _ => Loc::Reg(take(&mut pool)),
             };
             params.push(loc);
@@ -377,7 +367,8 @@ impl<'k> Codegen<'k> {
         // modes, so one register suffices everywhere).
         let mut shared = Vec::new();
         for s in &k.shared {
-            let r = if fat { take(&mut pool) } else { take_ptr(&mut cap_pool, &mut pool, &s.name)? };
+            let r =
+                if fat { take(&mut pool) } else { take_ptr(&mut cap_pool, &mut pool, &s.name)? };
             shared.push(if fat { Loc::FatConst(r, s.len) } else { Loc::Reg(r) });
             if pool.len() < 8 {
                 return Err(CompileError::RegisterPressure(format!(
@@ -442,9 +433,7 @@ impl<'k> Codegen<'k> {
     // ---- Temp management ----
 
     fn temp(&mut self) -> Result<Reg, CompileError> {
-        self.free
-            .pop()
-            .ok_or_else(|| CompileError::RegisterPressure("expression too deep".into()))
+        self.free.pop().ok_or_else(|| CompileError::RegisterPressure("expression too deep".into()))
     }
 
     /// A capability-address register for the given pointer expression:
@@ -632,13 +621,23 @@ impl<'k> Codegen<'k> {
         for (i, p) in self.k.params.iter().enumerate() {
             match (self.params[i], self.slots[i]) {
                 (Loc::Reg(r), ArgSlot::Scalar { offset } | ArgSlot::PtrRaw { offset }) => {
-                    self.asm.push(Instr::Load { w: LoadWidth::W, rd: r, rs1: arg, off: offset as i32 });
+                    self.asm.push(Instr::Load {
+                        w: LoadWidth::W,
+                        rd: r,
+                        rs1: arg,
+                        off: offset as i32,
+                    });
                 }
                 (Loc::Reg(r), ArgSlot::PtrCap { offset }) => {
                     self.asm.push(Instr::Clc { cd: r, cs1: arg, off: offset as i32 });
                 }
                 (Loc::Fat(ra, rl), ArgSlot::PtrFat { offset }) => {
-                    self.asm.push(Instr::Load { w: LoadWidth::W, rd: ra, rs1: arg, off: offset as i32 });
+                    self.asm.push(Instr::Load {
+                        w: LoadWidth::W,
+                        rd: ra,
+                        rs1: arg,
+                        off: offset as i32,
+                    });
                     self.asm.push(Instr::Load {
                         w: LoadWidth::W,
                         rd: rl,
@@ -879,14 +878,29 @@ impl<'k> Codegen<'k> {
                 match home {
                     Loc::Slot(off) => {
                         let t = self.temp()?;
-                        self.asm.push(Instr::Load { w: LoadWidth::W, rd: t, rs1: SP, off: -(off as i32) });
+                        self.asm.push(Instr::Load {
+                            w: LoadWidth::W,
+                            rd: t,
+                            rs1: SP,
+                            off: -(off as i32),
+                        });
                         Ok(Val { loc: Loc::Reg(t), owned: true })
                     }
                     Loc::FatSlot(off) => {
                         let a = self.temp()?;
                         let l = self.temp()?;
-                        self.asm.push(Instr::Load { w: LoadWidth::W, rd: a, rs1: SP, off: -(off as i32) });
-                        self.asm.push(Instr::Load { w: LoadWidth::W, rd: l, rs1: SP, off: -(off as i32) + 4 });
+                        self.asm.push(Instr::Load {
+                            w: LoadWidth::W,
+                            rd: a,
+                            rs1: SP,
+                            off: -(off as i32),
+                        });
+                        self.asm.push(Instr::Load {
+                            w: LoadWidth::W,
+                            rd: l,
+                            rs1: SP,
+                            off: -(off as i32) + 4,
+                        });
                         let _ = ty;
                         Ok(Val { loc: Loc::Fat(a, l), owned: true })
                     }
@@ -895,7 +909,11 @@ impl<'k> Codegen<'k> {
             }
             Expr::Param(id, _) => Ok(Val { loc: self.params[*id], owned: false }),
             Expr::Shared(id, _) => Ok(Val { loc: self.shared[*id], owned: false }),
-            Expr::Bin(..) | Expr::Un(..) | Expr::Load(..) | Expr::PtrOffset(..) | Expr::Select(..) => {
+            Expr::Bin(..)
+            | Expr::Un(..)
+            | Expr::Load(..)
+            | Expr::PtrOffset(..)
+            | Expr::Select(..) => {
                 let dst = self.alloc_for(e)?;
                 self.gen_expr_to(e, dst)?;
                 Ok(Val { loc: dst, owned: true })
@@ -926,15 +944,30 @@ impl<'k> Codegen<'k> {
             Loc::Slot(off) => {
                 let v = self.gen_expr(e)?;
                 let r = self.scalar_reg(&v)?;
-                self.asm.push(Instr::Store { w: StoreWidth::W, rs2: r, rs1: SP, off: -(off as i32) });
+                self.asm.push(Instr::Store {
+                    w: StoreWidth::W,
+                    rs2: r,
+                    rs1: SP,
+                    off: -(off as i32),
+                });
                 self.release(v);
                 return Ok(());
             }
             Loc::FatSlot(off) => {
                 let v = self.gen_expr(e)?;
                 let (a, l) = self.fat_regs(&v)?;
-                self.asm.push(Instr::Store { w: StoreWidth::W, rs2: a, rs1: SP, off: -(off as i32) });
-                self.asm.push(Instr::Store { w: StoreWidth::W, rs2: l, rs1: SP, off: -(off as i32) + 4 });
+                self.asm.push(Instr::Store {
+                    w: StoreWidth::W,
+                    rs2: a,
+                    rs1: SP,
+                    off: -(off as i32),
+                });
+                self.asm.push(Instr::Store {
+                    w: StoreWidth::W,
+                    rs2: l,
+                    rs1: SP,
+                    off: -(off as i32) + 4,
+                });
                 self.release_fat_temp(v, a, l);
                 return Ok(());
             }
@@ -1219,7 +1252,9 @@ impl<'k> Codegen<'k> {
             }
             UnOp::Not => self.opi(AluOp::Xor, d, ra, -1),
             UnOp::Sqrt => self.asm.push(Instr::FSqrt { rd: d, rs1: ra }),
-            UnOp::ToF32 => self.asm.push(Instr::FCvtSW { rd: d, rs1: ra, signed: a.ty() == Ty::I32 }),
+            UnOp::ToF32 => {
+                self.asm.push(Instr::FCvtSW { rd: d, rs1: ra, signed: a.ty() == Ty::I32 })
+            }
             UnOp::ToI32 => self.asm.push(Instr::FCvtWS { rd: d, rs1: ra, signed: true }),
             UnOp::AsU32 | UnOp::AsI32 => self.mv(d, ra),
         }
@@ -1251,7 +1286,9 @@ impl<'k> Codegen<'k> {
             let (pa, plen_reg, plen_const) = match vp.loc {
                 Loc::Fat(a, l) => (a, Some(l), None),
                 Loc::FatConst(a, l) => (a, None, Some(l)),
-                other => return Err(CompileError::Type(format!("fat pointer expected: {other:?}"))),
+                other => {
+                    return Err(CompileError::Type(format!("fat pointer expected: {other:?}")))
+                }
             };
             let statically_safe = match (Self::as_const(index), plen_const) {
                 (Some(i), Some(len)) => i >= 0 && (i as u64) < len as u64,

@@ -424,6 +424,12 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel {}({} params, {} shared arrays)", self.name, self.params.len(), self.shared.len())
+        write!(
+            f,
+            "kernel {}({} params, {} shared arrays)",
+            self.name,
+            self.params.len(),
+            self.shared.len()
+        )
     }
 }

@@ -222,13 +222,7 @@ impl Kernel {
             self.params.iter().map(|p| format!("{} {}", ty_name(p.ty), p.name)).collect();
         let _ = writeln!(out, "kernel {}({}) {{", self.name, params.join(", "));
         for s in &self.shared {
-            let _ = writeln!(
-                out,
-                "    __shared__ {} {}[{}];",
-                elem_name(s.elem),
-                s.name,
-                s.len
-            );
+            let _ = writeln!(out, "    __shared__ {} {}[{}];", elem_name(s.elem), s.name, s.len);
         }
         for (i, t) in self.vars.iter().enumerate() {
             let name = self.var_names.get(i).map(String::as_str).unwrap_or("v?");

@@ -85,10 +85,8 @@ fn rust_modes_emit_checks_monotonically() {
     assert!(purecap <= base + 6, "purecap {purecap} vs base {base}");
     // The Rust port contains sltu+branch pairs.
     let instrs = decoded(&k, Mode::RustChecked);
-    let sltus = instrs
-        .iter()
-        .filter(|i| matches!(i, Instr::Op { op: simt_isa::AluOp::Sltu, .. }))
-        .count();
+    let sltus =
+        instrs.iter().filter(|i| matches!(i, Instr::Op { op: simt_isa::AluOp::Sltu, .. })).count();
     assert!(sltus >= 3, "one check per access: {sltus}");
 }
 

@@ -32,7 +32,7 @@ mod tagcache;
 
 pub use coalesce::{Coalesced, CoalescingUnit, LaneRequest, TRANSACTION_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use scratch::{Scratchpad, ScratchStats};
+pub use scratch::{ScratchStats, Scratchpad};
 pub use tagcache::{TagCache, TagCacheConfig, TagCacheStats, TagController};
 
 use cheri_cap::CapMem;
@@ -45,6 +45,8 @@ pub enum MemFault {
     Unmapped(u32),
     /// The access is not naturally aligned.
     Misaligned(u32),
+    /// The access width is not one of the supported sizes (1/2/4 bytes).
+    BadWidth(u32),
 }
 
 impl core::fmt::Display for MemFault {
@@ -52,6 +54,7 @@ impl core::fmt::Display for MemFault {
         match self {
             MemFault::Unmapped(a) => write!(f, "unmapped address {a:#010x}"),
             MemFault::Misaligned(a) => write!(f, "misaligned access at {a:#010x}"),
+            MemFault::BadWidth(w) => write!(f, "unsupported access width {w}"),
         }
     }
 }
@@ -110,20 +113,22 @@ impl MainMemory {
     ///
     /// # Errors
     ///
-    /// Fails on unmapped or misaligned accesses.
+    /// Fails on unsupported widths and unmapped or misaligned accesses.
     pub fn read(&self, addr: u32, width: u32) -> Result<u32, MemFault> {
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(MemFault::BadWidth(width));
+        }
         if !self.contains(addr, width) {
             return Err(MemFault::Unmapped(addr));
         }
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             return Err(MemFault::Misaligned(addr));
         }
         let o = self.off(addr);
         Ok(match width {
             1 => self.data[o] as u32,
             2 => u16::from_le_bytes([self.data[o], self.data[o + 1]]) as u32,
-            4 => u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap()),
-            _ => panic!("bad width {width}"),
+            _ => u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap()),
         })
     }
 
@@ -131,20 +136,22 @@ impl MainMemory {
     ///
     /// # Errors
     ///
-    /// Fails on unmapped or misaligned accesses.
+    /// Fails on unsupported widths and unmapped or misaligned accesses.
     pub fn write(&mut self, addr: u32, value: u32, width: u32) -> Result<(), MemFault> {
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(MemFault::BadWidth(width));
+        }
         if !self.contains(addr, width) {
             return Err(MemFault::Unmapped(addr));
         }
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             return Err(MemFault::Misaligned(addr));
         }
         let o = self.off(addr);
         match width {
             1 => self.data[o] = value as u8,
             2 => self.data[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            4 => self.data[o..o + 4].copy_from_slice(&value.to_le_bytes()),
-            _ => panic!("bad width {width}"),
+            _ => self.data[o..o + 4].copy_from_slice(&value.to_le_bytes()),
         }
         self.set_tag(addr, false);
         Ok(())
@@ -173,7 +180,7 @@ impl MainMemory {
     ///
     /// Fails on unmapped or misaligned (non-8-byte-aligned) accesses.
     pub fn read_cap(&self, addr: u32) -> Result<CapMem, MemFault> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(MemFault::Misaligned(addr));
         }
         let lo = self.read(addr, 4)?;
@@ -188,7 +195,7 @@ impl MainMemory {
     ///
     /// Fails on unmapped or misaligned (non-8-byte-aligned) accesses.
     pub fn write_cap(&mut self, addr: u32, cap: CapMem) -> Result<(), MemFault> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(MemFault::Misaligned(addr));
         }
         self.write(addr, cap.bits() as u32, 4)?;
@@ -228,9 +235,8 @@ impl MainMemory {
         let mut addr = self.base;
         while addr + 8 <= self.base + self.size() {
             if self.tag(addr) && self.tag(addr + 4) {
-                let cap = cheri_cap::CapPipe::from_mem(
-                    self.read_cap(addr).expect("aligned in-range"),
-                );
+                let cap =
+                    cheri_cap::CapPipe::from_mem(self.read_cap(addr).expect("aligned in-range"));
                 if cap.tag() && (cap.base() as u64) < top && cap.top() > base as u64 {
                     self.set_tag(addr, false);
                     self.set_tag(addr + 4, false);

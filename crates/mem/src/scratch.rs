@@ -68,10 +68,13 @@ impl Scratchpad {
     }
 
     fn word_index(&self, addr: u32, bytes: u32) -> Result<usize, MemFault> {
+        if !matches!(bytes, 1 | 2 | 4) {
+            return Err(MemFault::BadWidth(bytes));
+        }
         if addr < self.base || addr + bytes > self.base + self.size() {
             return Err(MemFault::Unmapped(addr));
         }
-        if addr % bytes != 0 {
+        if !addr.is_multiple_of(bytes) {
             return Err(MemFault::Misaligned(addr));
         }
         Ok(((addr - self.base) / 4) as usize)
@@ -81,7 +84,7 @@ impl Scratchpad {
     ///
     /// # Errors
     ///
-    /// Fails on out-of-range or misaligned access.
+    /// Fails on unsupported widths and out-of-range or misaligned access.
     pub fn read(&self, addr: u32, bytes: u32) -> Result<u32, MemFault> {
         let w = self.word_index(addr, bytes)?;
         let word = self.words[w];
@@ -89,8 +92,7 @@ impl Scratchpad {
         Ok(match bytes {
             1 => (word >> sh) & 0xFF,
             2 => (word >> sh) & 0xFFFF,
-            4 => word,
-            _ => panic!("bad width {bytes}"),
+            _ => word,
         })
     }
 
@@ -98,15 +100,14 @@ impl Scratchpad {
     ///
     /// # Errors
     ///
-    /// Fails on out-of-range or misaligned access.
+    /// Fails on unsupported widths and out-of-range or misaligned access.
     pub fn write(&mut self, addr: u32, value: u32, bytes: u32) -> Result<(), MemFault> {
         let w = self.word_index(addr, bytes)?;
         let sh = (addr % 4) * 8;
         let mask = match bytes {
             1 => 0xFFu32 << sh,
             2 => 0xFFFFu32 << sh,
-            4 => u32::MAX,
-            _ => panic!("bad width {bytes}"),
+            _ => u32::MAX,
         };
         self.words[w] = (self.words[w] & !mask) | ((value << sh) & mask);
         self.set_tag_word(w, false);
@@ -131,7 +132,7 @@ impl Scratchpad {
     ///
     /// Fails on out-of-range or misaligned access.
     pub fn read_cap(&self, addr: u32) -> Result<CapMem, MemFault> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(MemFault::Misaligned(addr));
         }
         let lo = self.read(addr, 4)?;
@@ -147,7 +148,7 @@ impl Scratchpad {
     ///
     /// Fails on out-of-range or misaligned access.
     pub fn write_cap(&mut self, addr: u32, cap: CapMem) -> Result<(), MemFault> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(MemFault::Misaligned(addr));
         }
         self.write(addr, cap.bits() as u32, 4)?;

@@ -59,7 +59,11 @@ pub struct TagCache {
 impl TagCache {
     /// Create an empty cache.
     pub fn new(cfg: TagCacheConfig) -> Self {
-        TagCache { cfg, lines: vec![(u64::MAX, false); cfg.lines as usize], stats: TagCacheStats::default() }
+        TagCache {
+            cfg,
+            lines: vec![(u64::MAX, false); cfg.lines as usize],
+            stats: TagCacheStats::default(),
+        }
     }
 
     /// Cumulative statistics.

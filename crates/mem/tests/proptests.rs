@@ -1,14 +1,18 @@
 //! Property tests for the memory subsystem: functional state against a
 //! plain reference model, plus structural invariants of the coalescer and
-//! tag machinery.
+//! tag machinery. Driven by a seeded deterministic PRNG (the workspace
+//! builds offline, so no proptest).
 
 use cheri_cap::{CapMem, CapPipe};
-use proptest::prelude::*;
-use simt_mem::{CoalescingUnit, LaneRequest, MainMemory, Scratchpad, TagCacheConfig, TagController};
+use sim_prng::Prng;
+use simt_mem::{
+    CoalescingUnit, LaneRequest, MainMemory, MemFault, Scratchpad, TagCacheConfig, TagController,
+};
 use std::collections::HashMap;
 
 const BASE: u32 = 0x8000_0000;
 const SIZE: u32 = 4096;
+const RUNS: usize = 256;
 
 #[derive(Debug, Clone)]
 enum MemOp {
@@ -18,23 +22,34 @@ enum MemOp {
     ReadCap { addr: u32 },
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
-    let width = prop::sample::select(vec![1u32, 2, 4]);
-    prop_oneof![
-        (0..SIZE, any::<u32>(), width.clone()).prop_map(|(off, value, width)| MemOp::Write {
-            addr: BASE + (off & !(width - 1)).min(SIZE - width),
-            value,
-            width,
-        }),
-        (0..SIZE / 8, any::<u64>(), any::<bool>()).prop_map(|(slot, bits, tag)| {
-            MemOp::WriteCap { addr: BASE + slot * 8, bits, tag }
-        }),
-        (0..SIZE, width).prop_map(|(off, width)| MemOp::Read {
-            addr: BASE + (off & !(width - 1)).min(SIZE - width),
-            width,
-        }),
-        (0..SIZE / 8).prop_map(|slot| MemOp::ReadCap { addr: BASE + slot * 8 }),
-    ]
+fn mem_op(r: &mut Prng) -> MemOp {
+    match r.range_u32(0, 4) {
+        0 => {
+            let width = *r.choose(&[1u32, 2, 4]);
+            let off = r.range_u32(0, SIZE);
+            MemOp::Write {
+                addr: BASE + (off & !(width - 1)).min(SIZE - width),
+                value: r.next_u32(),
+                width,
+            }
+        }
+        1 => MemOp::WriteCap {
+            addr: BASE + r.range_u32(0, SIZE / 8) * 8,
+            bits: r.next_u64(),
+            tag: r.next_bool(),
+        },
+        2 => {
+            let width = *r.choose(&[1u32, 2, 4]);
+            let off = r.range_u32(0, SIZE);
+            MemOp::Read { addr: BASE + (off & !(width - 1)).min(SIZE - width), width }
+        }
+        _ => MemOp::ReadCap { addr: BASE + r.range_u32(0, SIZE / 8) * 8 },
+    }
+}
+
+fn ops(r: &mut Prng) -> Vec<MemOp> {
+    let n = r.range_usize(1, 200);
+    (0..n).map(|_| mem_op(r)).collect()
 }
 
 /// Byte-level reference model with a per-word tag map.
@@ -53,9 +68,8 @@ impl RefMem {
     }
 
     fn read(&self, addr: u32, width: u32) -> u32 {
-        (0..width).fold(0, |acc, i| {
-            acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u32) << (8 * i)
-        })
+        (0..width)
+            .fold(0, |acc, i| acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u32) << (8 * i))
     }
 
     fn write_cap(&mut self, addr: u32, bits: u64, tag: bool) {
@@ -67,21 +81,24 @@ impl RefMem {
     }
 
     fn read_cap(&self, addr: u32) -> (u64, bool) {
-        let bits =
-            (0..8).fold(0u64, |acc, i| acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i));
-        let tag = *self.tags.get(&addr).unwrap_or(&false) && *self.tags.get(&(addr + 4)).unwrap_or(&false);
+        let bits = (0..8).fold(0u64, |acc, i| {
+            acc | (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i)
+        });
+        let tag = *self.tags.get(&addr).unwrap_or(&false)
+            && *self.tags.get(&(addr + 4)).unwrap_or(&false);
         (bits, tag)
     }
 }
 
-proptest! {
-    /// MainMemory matches the reference model under arbitrary mixed
-    /// data/capability traffic, including tag-clearing on data writes.
-    #[test]
-    fn main_memory_matches_reference(ops in prop::collection::vec(mem_op(), 1..200)) {
+/// MainMemory matches the reference model under arbitrary mixed
+/// data/capability traffic, including tag-clearing on data writes.
+#[test]
+fn main_memory_matches_reference() {
+    let mut r = Prng::seed_from_u64(0x3E3_0001);
+    for _ in 0..RUNS {
         let mut mem = MainMemory::new(BASE, SIZE);
         let mut reference = RefMem::default();
-        for op in ops {
+        for op in ops(&mut r) {
             match op {
                 MemOp::Write { addr, value, width } => {
                     mem.write(addr, value, width).unwrap();
@@ -92,26 +109,29 @@ proptest! {
                     reference.write_cap(addr, bits, tag);
                 }
                 MemOp::Read { addr, width } => {
-                    prop_assert_eq!(mem.read(addr, width).unwrap(), reference.read(addr, width));
+                    assert_eq!(mem.read(addr, width).unwrap(), reference.read(addr, width));
                 }
                 MemOp::ReadCap { addr } => {
                     let got = mem.read_cap(addr).unwrap();
                     let (bits, tag) = reference.read_cap(addr);
-                    prop_assert_eq!(got.bits(), bits);
-                    prop_assert_eq!(got.tag(), tag);
+                    assert_eq!(got.bits(), bits);
+                    assert_eq!(got.tag(), tag);
                 }
             }
         }
     }
+}
 
-    /// Scratchpad data/capability storage matches the same reference model.
-    #[test]
-    fn scratchpad_matches_reference(ops in prop::collection::vec(mem_op(), 1..200)) {
-        const SBASE: u32 = 0x4000_0000;
+/// Scratchpad data/capability storage matches the same reference model.
+#[test]
+fn scratchpad_matches_reference() {
+    const SBASE: u32 = 0x4000_0000;
+    let mut r = Prng::seed_from_u64(0x3E3_0002);
+    for _ in 0..RUNS {
         let mut sp = Scratchpad::new(SBASE, SIZE, 8);
         let mut reference = RefMem::default();
         let reloc = |addr: u32| addr - BASE + SBASE;
-        for op in ops {
+        for op in ops(&mut r) {
             match op {
                 MemOp::Write { addr, value, width } => {
                     sp.write(reloc(addr), value, width).unwrap();
@@ -122,7 +142,7 @@ proptest! {
                     reference.write_cap(reloc(addr), bits, tag);
                 }
                 MemOp::Read { addr, width } => {
-                    prop_assert_eq!(
+                    assert_eq!(
                         sp.read(reloc(addr), width).unwrap(),
                         reference.read(reloc(addr), width)
                     );
@@ -130,60 +150,94 @@ proptest! {
                 MemOp::ReadCap { addr } => {
                     let got = sp.read_cap(reloc(addr)).unwrap();
                     let (bits, tag) = reference.read_cap(reloc(addr));
-                    prop_assert_eq!(got.bits(), bits);
-                    prop_assert_eq!(got.tag(), tag);
+                    assert_eq!(got.bits(), bits);
+                    assert_eq!(got.tag(), tag);
                 }
             }
         }
     }
+}
 
-    /// Coalescer invariants: between ceil(span/64) and lane-count
-    /// transactions; uniform accesses coalesce to exactly one.
-    #[test]
-    fn coalescer_invariants(addrs in prop::collection::vec(0u32..65536, 1..32)) {
-        let reqs: Vec<LaneRequest> =
-            addrs.iter().map(|&o| LaneRequest { addr: BASE + (o & !3), bytes: 4 }).collect();
+/// Coalescer invariants: between ceil(span/64) and lane-count
+/// transactions; uniform accesses coalesce to exactly one.
+#[test]
+fn coalescer_invariants() {
+    let mut r = Prng::seed_from_u64(0x3E3_0003);
+    for run in 0..RUNS {
+        let n = r.range_usize(1, 32);
+        let uniform_run = run % 8 == 0;
+        let shared = r.range_u32(0, 65536);
+        let reqs: Vec<LaneRequest> = (0..n)
+            .map(|_| {
+                let o = if uniform_run { shared } else { r.range_u32(0, 65536) };
+                LaneRequest { addr: BASE + (o & !3), bytes: 4 }
+            })
+            .collect();
         let out = CoalescingUnit::new().coalesce(&reqs);
-        prop_assert!(out.transactions >= 1);
-        prop_assert!(out.transactions <= reqs.len() as u32);
-        let min_block = reqs.iter().map(|r| r.addr / 64).min().unwrap();
-        let max_block = reqs.iter().map(|r| r.addr / 64).max().unwrap();
-        prop_assert!(out.transactions <= (max_block - min_block + 1));
-        if reqs.iter().all(|r| r.addr == reqs[0].addr) {
-            prop_assert_eq!(out.transactions, 1);
-            prop_assert!(out.uniform);
+        assert!(out.transactions >= 1);
+        assert!(out.transactions <= reqs.len() as u32);
+        let min_block = reqs.iter().map(|q| q.addr / 64).min().unwrap();
+        let max_block = reqs.iter().map(|q| q.addr / 64).max().unwrap();
+        assert!(out.transactions <= (max_block - min_block + 1));
+        if reqs.iter().all(|q| q.addr == reqs[0].addr) {
+            assert_eq!(out.transactions, 1);
+            assert!(out.uniform);
         }
     }
+}
 
-    /// The tag controller never reports more transactions than two per
-    /// lookup (fill + writeback) and its hit/miss counts add up.
-    #[test]
-    fn tag_controller_accounting(addrs in prop::collection::vec(0u32..(1 << 20), 1..300)) {
+/// The tag controller never reports more transactions than two per
+/// lookup (fill + writeback) and its hit/miss counts add up.
+#[test]
+fn tag_controller_accounting() {
+    let mut r = Prng::seed_from_u64(0x3E3_0004);
+    for _ in 0..RUNS {
+        let n = r.range_usize(1, 300);
+        let addrs: Vec<u32> = (0..n).map(|_| r.range_u32(0, 1 << 20)).collect();
         let mut tc = TagController::new(TagCacheConfig::default(), true);
         let mut txns = 0u64;
         for a in &addrs {
             let t = tc.on_access(BASE + a, a % 3 == 0);
-            prop_assert!(t <= 2);
+            assert!(t <= 2);
             txns += t as u64;
         }
         let s = tc.stats();
-        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
-        prop_assert_eq!(txns, s.misses + s.writebacks);
-        prop_assert!(s.writebacks <= s.misses);
+        assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        assert_eq!(txns, s.misses + s.writebacks);
+        assert!(s.writebacks <= s.misses);
     }
+}
 
-    /// Capabilities stored through memory and reloaded decode to identical
-    /// bounds (memory is transparent to the capability layer).
-    #[test]
-    fn memory_is_transparent_to_capabilities(
-        base_addr in (0u32..SIZE / 2).prop_map(|o| BASE + (o & !7)),
-        target in any::<u32>(),
-        len in 0u32..1 << 16,
-    ) {
+/// Capabilities stored through memory and reloaded decode to identical
+/// bounds (memory is transparent to the capability layer).
+#[test]
+fn memory_is_transparent_to_capabilities() {
+    let mut r = Prng::seed_from_u64(0x3E3_0005);
+    for _ in 0..4096 {
+        let base_addr = BASE + (r.range_u32(0, SIZE / 2) & !7);
+        let target = r.next_u32();
+        let len = r.range_u32(0, 1 << 16);
         let mut mem = MainMemory::new(BASE, SIZE);
         let (cap, _) = CapPipe::almighty().set_addr(target).set_bounds(len);
         mem.write_cap(base_addr, cap.to_mem()).unwrap();
         let back = CapPipe::from_mem(mem.read_cap(base_addr).unwrap());
-        prop_assert_eq!(back, cap);
+        assert_eq!(back, cap);
+    }
+}
+
+/// A malformed access width surfaces as a typed fault, not a process
+/// abort — the parallel runner must be able to report it as a simulator
+/// error without poisoning sibling worker threads.
+#[test]
+fn bad_width_is_a_fault_not_a_panic() {
+    let mut mem = MainMemory::new(BASE, SIZE);
+    for w in [0u32, 3, 5, 8, 64] {
+        assert_eq!(mem.read(BASE, w), Err(MemFault::BadWidth(w)), "read width {w}");
+        assert_eq!(mem.write(BASE, 0, w), Err(MemFault::BadWidth(w)), "write width {w}");
+    }
+    let mut sp = Scratchpad::new(0x4000_0000, SIZE, 8);
+    for w in [0u32, 3, 5, 8, 64] {
+        assert_eq!(sp.read(0x4000_0000, w), Err(MemFault::BadWidth(w)), "sp read width {w}");
+        assert_eq!(sp.write(0x4000_0000, 0, w), Err(MemFault::BadWidth(w)), "sp write width {w}");
     }
 }

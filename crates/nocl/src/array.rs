@@ -296,13 +296,10 @@ impl Gpu {
             let offs = k.param_ptr("offs", T::ELEM);
             let gid = k.var_u32("gid");
             k.assign(&gid, k.global_id());
-            k.if_(
-                gid.clone().lt(len.clone()) & k.block_idx().gt(Expr::u32(0)),
-                |k| {
-                    let prev = offs.at(k.block_idx() - Expr::u32(1));
-                    k.store(&data, gid.clone(), f(prev, data.at(gid.clone())));
-                },
-            );
+            k.if_(gid.clone().lt(len.clone()) & k.block_idx().gt(Expr::u32(0)), |k| {
+                let prev = offs.at(k.block_idx() - Expr::u32(1));
+                k.store(&data, gid.clone(), f(prev, data.at(gid.clone())));
+            });
             let k3 = k.finish();
             self.launch(
                 &k3,

@@ -147,7 +147,15 @@ impl Gpu {
         let heap = map::DRAM_BASE + 4096; // first page: argument block
         let heap_end = plan.stack_top - stack_arena;
         assert!(heap < heap_end, "DRAM too small for stacks");
-        Gpu { sm: Sm::new(cfg), mode, plan, heap, heap_end, cache: HashMap::new(), cap_reg_limit: None }
+        Gpu {
+            sm: Sm::new(cfg),
+            mode,
+            plan,
+            heap,
+            heap_end,
+            cache: HashMap::new(),
+            cap_reg_limit: None,
+        }
     }
 
     /// Enable the §4.3 capability-register limit: pure-capability kernels
@@ -155,7 +163,7 @@ impl Gpu {
     /// capabilities, allowing a metadata SRF of `limit` entries (halving
     /// the 14% storage overhead to 7% at `limit = 16`).
     pub fn with_cap_reg_limit(mut self, limit: u32) -> Self {
-        assert!(limit >= 4 && limit <= 32, "limit out of range");
+        assert!((4..=32).contains(&limit), "limit out of range");
         self.cap_reg_limit = Some(limit);
         self.cache.clear();
         self
@@ -260,9 +268,9 @@ impl Gpu {
             )));
         }
         let block_ok = if launch.block_dim >= lanes {
-            launch.block_dim % lanes == 0
+            launch.block_dim.is_multiple_of(lanes)
         } else {
-            lanes % launch.block_dim == 0
+            lanes.is_multiple_of(launch.block_dim)
         };
         if !block_ok {
             return Err(LaunchError::Config(format!(
@@ -327,10 +335,8 @@ impl Gpu {
         // Special capability registers for pure-capability kernels.
         if self.mode == Mode::PureCap {
             let data = |base: u32, len: u32| {
-                let (c, _) = CapPipe::almighty()
-                    .and_perm(Perms::data())
-                    .set_addr(base)
-                    .set_bounds(len);
+                let (c, _) =
+                    CapPipe::almighty().and_perm(Perms::data()).set_addr(base).set_bounds(len);
                 c.to_mem()
             };
             self.sm.set_scr(scr::ARG, data(self.plan.arg_base, compiled.layout.size));

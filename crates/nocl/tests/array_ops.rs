@@ -9,11 +9,8 @@ const MODES: [Mode; 5] =
     [Mode::Baseline, Mode::PureCap, Mode::RustChecked, Mode::RustFull, Mode::GpuShield];
 
 fn gpu_for(mode: Mode) -> Gpu {
-    let cheri = if mode.needs_cheri() {
-        CheriMode::On(CheriOpts::optimised())
-    } else {
-        CheriMode::Off
-    };
+    let cheri =
+        if mode.needs_cheri() { CheriMode::On(CheriOpts::optimised()) } else { CheriMode::Off };
     Gpu::new(SmConfig::small(cheri), mode)
 }
 

@@ -68,8 +68,7 @@ fn limit_is_performance_neutral() {
 fn halved_metadata_srf_is_seven_percent() {
     let baseline = RegFileStorage::for_config(&RfConfig::data(64, 32, 768)).kilobits();
     let full = RegFileStorage::for_config(&RfConfig::meta(64, 32, 0, true));
-    let halved =
-        RegFileStorage::for_config(&RfConfig::meta(64, 32, 0, true).with_arch_regs(LIMIT));
+    let halved = RegFileStorage::for_config(&RfConfig::meta(64, 32, 0, true).with_arch_regs(LIMIT));
     let full_ovhd = full.srf_bits as f64 / 1024.0 / baseline;
     let halved_ovhd = halved.srf_bits as f64 / 1024.0 / baseline;
     assert!((full_ovhd - 0.14).abs() < 0.01, "full {full_ovhd:.3}");

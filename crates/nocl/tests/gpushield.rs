@@ -43,7 +43,6 @@ fn gpushield_catches_buffer_overruns() {
 /// attack under CHERI traps on the tag check.
 #[test]
 fn gpushield_pointers_are_forgeable_cheri_pointers_are_not() {
-
     // The IR is memory-safe by construction (no int->pointer casts), so
     // express the forgery the way real attacks do: via *pointer
     // arithmetic* that walks an unprotected pointer anywhere. Shared

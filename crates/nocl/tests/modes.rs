@@ -6,11 +6,8 @@ use nocl::{Arg, Gpu, Launch, LaunchError};
 use nocl_kir::{Elem, Expr, Kernel, KernelBuilder, Mode};
 
 fn gpu_for(mode: Mode) -> Gpu {
-    let cheri = if mode.needs_cheri() {
-        CheriMode::On(CheriOpts::optimised())
-    } else {
-        CheriMode::Off
-    };
+    let cheri =
+        if mode.needs_cheri() { CheriMode::On(CheriOpts::optimised()) } else { CheriMode::Off };
     Gpu::new(SmConfig::small(cheri), mode)
 }
 
@@ -40,8 +37,12 @@ fn vecadd_agrees_across_modes() {
         let a = gpu.alloc_from(&xs);
         let b = gpu.alloc_from(&ys);
         let c = gpu.alloc::<i32>(n);
-        gpu.launch(&vecadd_kernel(), Launch::new(4, 16), &[n.into(), (&a).into(), (&b).into(), (&c).into()])
-            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        gpu.launch(
+            &vecadd_kernel(),
+            Launch::new(4, 16),
+            &[n.into(), (&a).into(), (&b).into(), (&c).into()],
+        )
+        .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         assert_eq!(gpu.read(&c), want, "{mode:?}");
     }
 }
@@ -129,9 +130,9 @@ fn pointer_select_blkstencil_pattern() {
         gpu.launch(&kernel, Launch::new(1, 16), &[(&g).into(), (&o).into()])
             .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         let got = gpu.read(&o);
-        for t in 0..16usize {
+        for (t, &g) in got.iter().enumerate().take(16) {
             let want = if t % 2 == 0 { 1000 + t as i32 } else { 2 * t as i32 };
-            assert_eq!(got[t], want, "{mode:?} thread {t}");
+            assert_eq!(g, want, "{mode:?} thread {t}");
         }
     }
 }
@@ -183,7 +184,7 @@ fn overrun_is_silent_in_baseline_but_caught_by_cheri_and_rust() {
     let out = gpu.alloc::<i32>(n);
     let victim = gpu.alloc_from(&vec![7i32; 64]);
     gpu.launch(&overrun_kernel(), Launch::new(2, 32), &[n.into(), (&out).into()]).unwrap();
-    assert!(gpu.read(&victim).iter().any(|&v| v == 1), "baseline corrupts the neighbour");
+    assert!(gpu.read(&victim).contains(&1), "baseline corrupts the neighbour");
 
     // PureCap: hardware bounds violation.
     let mut gpu = gpu_for(Mode::PureCap);
@@ -217,7 +218,11 @@ fn rust_checking_costs_instructions() {
         let b = gpu.alloc_from(&xs);
         let c = gpu.alloc::<i32>(n);
         let stats = gpu
-            .launch(&vecadd_kernel(), Launch::new(4, 16), &[n.into(), (&a).into(), (&b).into(), (&c).into()])
+            .launch(
+                &vecadd_kernel(),
+                Launch::new(4, 16),
+                &[n.into(), (&a).into(), (&b).into(), (&c).into()],
+            )
             .unwrap();
         counts.push(stats.instrs);
     }
@@ -234,7 +239,11 @@ fn purecap_kernels_report_cheri_histogram() {
     let b = gpu.alloc_from(&xs);
     let c = gpu.alloc::<i32>(n);
     let stats = gpu
-        .launch(&vecadd_kernel(), Launch::new(4, 16), &[n.into(), (&a).into(), (&b).into(), (&c).into()])
+        .launch(
+            &vecadd_kernel(),
+            Launch::new(4, 16),
+            &[n.into(), (&a).into(), (&b).into(), (&c).into()],
+        )
         .unwrap();
     assert!(stats.cheri_histogram.contains_key("CLW"));
     assert!(stats.cheri_histogram.contains_key("CSW"));

@@ -33,8 +33,7 @@ fn revocation_clears_stashed_capabilities() {
     // Host (or a kernel via CSC) stores two capabilities into the table:
     // one pointing into `data`, one pointing elsewhere.
     let cap_data = cheri_cap::CapPipe::almighty().set_addr(data.addr()).set_bounds(64).0;
-    let cap_other =
-        cheri_cap::CapPipe::almighty().set_addr(table.addr()).set_bounds(64).0;
+    let cap_other = cheri_cap::CapPipe::almighty().set_addr(table.addr()).set_bounds(64).0;
     gpu.sm_mut().memory_mut().write_cap(table.addr(), cap_data.to_mem()).unwrap();
     gpu.sm_mut().memory_mut().write_cap(table.addr() + 8, cap_other.to_mem()).unwrap();
     assert!(gpu.sm().memory().read_cap(table.addr()).unwrap().tag());

@@ -542,7 +542,10 @@ mod tests {
         assert_eq!(rf.vrf_resident(), 0);
         let mut out = [0u64; 8];
         rf.read(0, 5, &mut out);
-        assert_eq!(&out[..8], &[0, 0, 0, 0, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789]);
+        assert_eq!(
+            &out[..8],
+            &[0, 0, 0, 0, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789, 0x1_2345_6789]
+        );
         // ...and partially overwritten again with the same uniform value
         // also stays (rule 3).
         rf.write(0, 5, &vals(|_| 0x1_2345_6789), 0x03);

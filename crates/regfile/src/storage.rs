@@ -56,7 +56,8 @@ impl RegFileStorage {
         RegFileStorage {
             srf_bits: cfg.total_regs() as u64 * entry.total() as u64 * cfg.srf_copies as u64,
             vrf_bits: cfg.vrf_slots as u64 * cfg.lanes as u64 * cfg.elem_bits as u64,
-            free_stack_bits: cfg.vrf_slots as u64 * (32 - (slots - 1).leading_zeros()).max(1) as u64,
+            free_stack_bits: cfg.vrf_slots as u64
+                * (32 - (slots - 1).leading_zeros()).max(1) as u64,
         }
     }
 

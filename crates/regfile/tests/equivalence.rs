@@ -1,13 +1,16 @@
 //! The compressed register file must be observationally equivalent to a
 //! plain uncompressed register file under any sequence of masked writes and
 //! reads — compression, NVO, spilling, and filling are pure optimisations.
+//! Driven by a seeded deterministic PRNG (the workspace builds offline, so
+//! no proptest).
 
-use proptest::prelude::*;
+use sim_prng::Prng;
 use simt_regfile::{CompressedRegFile, RfConfig, NULL_META};
 
 const WARPS: u32 = 2;
 const LANES: usize = 8;
 const REGS: u32 = 8;
+const RUNS: usize = 256;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,32 +18,38 @@ enum Op {
     Read { warp: u32, reg: u32 },
 }
 
-fn value() -> impl Strategy<Value = u64> {
-    prop_oneof![
-        3 => Just(NULL_META),
-        3 => Just(0xAB_CDEF_0123u64 & 0x1_FFFF_FFFF),
-        2 => (0u64..4).prop_map(|x| 0x1_0000_0000 | x),
-        2 => any::<u64>().prop_map(|x| x & 0x1_FFFF_FFFF),
-    ]
+/// Lane value biased towards the compressible cases (NULL, a repeated
+/// scalar, small affine strides) with a tail of arbitrary 33-bit values.
+fn value(r: &mut Prng) -> u64 {
+    match r.range_u32(0, 10) {
+        0..=2 => NULL_META,
+        3..=5 => 0xAB_CDEF_0123u64 & 0x1_FFFF_FFFF,
+        6 | 7 => 0x1_0000_0000 | r.range_u64(0, 4),
+        _ => r.next_u64() & 0x1_FFFF_FFFF,
+    }
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            0..WARPS,
-            0..REGS,
-            prop::collection::vec(value(), LANES),
-            any::<u64>(),
-        )
-            .prop_map(|(warp, reg, values, mask)| Op::Write { warp, reg, values, mask }),
-        (0..WARPS, 0..REGS).prop_map(|(warp, reg)| Op::Read { warp, reg }),
-    ]
+fn op(r: &mut Prng) -> Op {
+    if r.next_bool() {
+        Op::Write {
+            warp: r.range_u32(0, WARPS),
+            reg: r.range_u32(0, REGS),
+            values: (0..LANES).map(|_| value(r)).collect(),
+            mask: r.next_u64(),
+        }
+    } else {
+        Op::Read { warp: r.range_u32(0, WARPS), reg: r.range_u32(0, REGS) }
+    }
+}
+
+fn ops(r: &mut Prng) -> Vec<Op> {
+    let n = r.range_usize(1, 200);
+    (0..n).map(|_| op(r)).collect()
 }
 
 fn run_equivalence(cfg: RfConfig, ops: Vec<Op>) {
     let mut rf = CompressedRegFile::new(cfg);
-    let mut reference =
-        vec![vec![0u64; LANES]; (WARPS * 32) as usize];
+    let mut reference = vec![vec![0u64; LANES]; (WARPS * 32) as usize];
     for o in ops {
         match o {
             Op::Write { warp, reg, values, mask } => {
@@ -73,26 +82,31 @@ fn run_equivalence(cfg: RfConfig, ops: Vec<Op>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Metadata register file with NVO and a tiny VRF (heavy spilling).
-    #[test]
-    fn meta_nvo_equivalence(ops in prop::collection::vec(op(), 1..200)) {
-        run_equivalence(RfConfig::meta(WARPS, LANES as u32, 2, true), ops);
+/// Metadata register file with NVO and a tiny VRF (heavy spilling).
+#[test]
+fn meta_nvo_equivalence() {
+    let mut r = Prng::seed_from_u64(0x2F_0001);
+    for _ in 0..RUNS {
+        run_equivalence(RfConfig::meta(WARPS, LANES as u32, 2, true), ops(&mut r));
     }
+}
 
-    /// Metadata register file without NVO.
-    #[test]
-    fn meta_plain_equivalence(ops in prop::collection::vec(op(), 1..200)) {
-        run_equivalence(RfConfig::meta(WARPS, LANES as u32, 3, false), ops);
+/// Metadata register file without NVO.
+#[test]
+fn meta_plain_equivalence() {
+    let mut r = Prng::seed_from_u64(0x2F_0002);
+    for _ in 0..RUNS {
+        run_equivalence(RfConfig::meta(WARPS, LANES as u32, 3, false), ops(&mut r));
     }
+}
 
-    /// Data register file with affine detection (values masked to 32 bits
-    /// by construction of the strategy is not guaranteed, so mask here).
-    #[test]
-    fn data_equivalence(ops in prop::collection::vec(op(), 1..200)) {
-        let ops = ops
+/// Data register file with affine detection (lane values masked to the
+/// 32-bit data width).
+#[test]
+fn data_equivalence() {
+    let mut r = Prng::seed_from_u64(0x2F_0003);
+    for _ in 0..RUNS {
+        let ops = ops(&mut r)
             .into_iter()
             .map(|o| match o {
                 Op::Write { warp, reg, values, mask } => Op::Write {
@@ -101,7 +115,7 @@ proptest! {
                     values: values.into_iter().map(|v| v & 0xFFFF_FFFF).collect(),
                     mask,
                 },
-                r => r,
+                read => read,
             })
             .collect();
         run_equivalence(RfConfig::data(WARPS, LANES as u32, 4), ops);

@@ -57,11 +57,7 @@ pub(crate) fn kernel(bd: u32) -> Kernel {
         k.assign(&kk, kk.clone() << Expr::u32(1));
     });
     k.store(&out, base.clone() + k.thread_idx(), sh.at(k.thread_idx()));
-    k.store(
-        &out,
-        base + k.thread_idx() + Expr::u32(bd),
-        sh.at(k.thread_idx() + Expr::u32(bd)),
-    );
+    k.store(&out, base + k.thread_idx() + Expr::u32(bd), sh.at(k.thread_idx() + Expr::u32(bd)));
     k.finish()
 }
 

@@ -81,8 +81,7 @@ impl NoclBench for BlkStencil {
         };
         let n = grid * bd;
         let xs = rand_i32s(0xB57E, n as usize + 2);
-        let want: Vec<i32> =
-            (0..n as usize).map(|i| xs[i] + xs[i + 1] + xs[i + 2]).collect();
+        let want: Vec<i32> = (0..n as usize).map(|i| xs[i] + xs[i + 1] + xs[i + 2]).collect();
 
         let input = gpu.alloc_from(&xs);
         let out = gpu.alloc::<i32>(n);

@@ -80,7 +80,7 @@ impl NoclBench for MatMul {
             Scale::Test => 2 * tile,
             Scale::Paper => 96,
         };
-        assert!(n % tile == 0);
+        assert!(n.is_multiple_of(tile));
         let a = rand_f32s(0x3A73, (n * n) as usize);
         let b = rand_f32s(0x3A74, (n * n) as usize);
         let nn = n as usize;

@@ -22,7 +22,10 @@ pub(crate) fn kernel() -> Kernel {
     k.for_(r.clone(), k.global_id(), rows, k.global_threads(), |k| {
         k.assign(&acc, Expr::f32(0.0));
         k.for_(c.clone(), Expr::u32(0), cols.clone(), Expr::u32(1), |k| {
-            k.assign(&acc, acc.clone() + a.at(r.clone() * cols.clone() + c.clone()) * x.at(c.clone()));
+            k.assign(
+                &acc,
+                acc.clone() + a.at(r.clone() * cols.clone() + c.clone()) * x.at(c.clone()),
+            );
         });
         k.store(&y, r.clone(), acc.clone());
     });
@@ -54,9 +57,7 @@ impl NoclBench for MatVecMul {
         let a = rand_f32s(0x3A7, (rows * cols) as usize);
         let x = rand_f32s(0x3A8, cols as usize);
         let want: Vec<f32> = (0..rows as usize)
-            .map(|r| {
-                (0..cols as usize).map(|c| a[r * cols as usize + c] * x[c]).sum()
-            })
+            .map(|r| (0..cols as usize).map(|c| a[r * cols as usize + c] * x[c]).sum())
             .collect();
 
         let da = gpu.alloc_from(&a);

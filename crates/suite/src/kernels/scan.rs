@@ -32,7 +32,8 @@ pub(crate) fn kernel(bd: u32) -> Kernel {
         k.if_else(
             k.thread_idx().ge(d.clone()),
             |k| {
-                let v = buf.at(src.clone()) + buf.at(pin.clone() * Expr::u32(bd) + k.thread_idx() - d.clone());
+                let v = buf.at(src.clone())
+                    + buf.at(pin.clone() * Expr::u32(bd) + k.thread_idx() - d.clone());
                 k.store(&buf, dst.clone(), v);
             },
             |k| {

@@ -6,7 +6,6 @@ use crate::{BenchError, NoclBench, Scale};
 use cheri_simt::KernelStats;
 use nocl::{Gpu, Launch};
 use nocl_kir::{Elem, Kernel, KernelBuilder};
-use rand::Rng;
 
 /// `y[r] = Σ_{e in row r} val[e] * x[col[e]]` over a CSR matrix; irregular
 /// row lengths exercise control-flow divergence and gather accesses.
@@ -50,10 +49,10 @@ pub(crate) fn random_csr(
     let mut val = Vec::new();
     rowptr.push(0u32);
     for _ in 0..rows {
-        let len = r.gen_range(0..=max_row);
+        let len = r.range_u32(0, max_row + 1);
         for _ in 0..len {
-            col.push(r.gen_range(0..cols));
-            val.push(r.gen_range(-2.0f32..2.0));
+            col.push(r.range_u32(0, cols));
+            val.push(r.range_f32(-2.0, 2.0));
         }
         rowptr.push(col.len() as u32);
     }

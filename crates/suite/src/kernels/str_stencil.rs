@@ -49,8 +49,7 @@ impl NoclBench for StrStencil {
             Scale::Paper => 65_536,
         };
         let xs = rand_i32s(0x57E2, n as usize + 2);
-        let want: Vec<i32> =
-            (0..n as usize).map(|i| xs[i] + xs[i + 1] + xs[i + 2]).collect();
+        let want: Vec<i32> = (0..n as usize).map(|i| xs[i] + xs[i + 1] + xs[i + 2]).collect();
 
         let input = gpu.alloc_from(&xs);
         let out = gpu.alloc::<i32>(n);

@@ -70,7 +70,7 @@ impl NoclBench for Transpose {
             Scale::Test => 4 * tile,
             Scale::Paper => 128,
         };
-        assert!(n % tile == 0);
+        assert!(n.is_multiple_of(tile));
         let xs = rand_f32s(0x7235, (n * n) as usize);
         let mut want = vec![0f32; (n * n) as usize];
         for r in 0..n as usize {

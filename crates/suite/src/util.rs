@@ -2,8 +2,7 @@
 
 use core::fmt;
 use nocl::{Gpu, LaunchError};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_prng::Prng;
 
 /// Problem size selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,33 +40,35 @@ impl From<LaunchError> for BenchError {
     }
 }
 
-/// A deterministic RNG per benchmark.
-pub(crate) fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+/// A deterministic RNG per benchmark. Each benchmark seeds its own stream
+/// from a constant, so inputs are bit-identical no matter which worker of
+/// the parallel runner executes the cell, or in what order.
+pub(crate) fn rng(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// Random `i32` values in a small range (overflow-free accumulation).
 pub(crate) fn rand_i32s(seed: u64, n: usize) -> Vec<i32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(-100..100)).collect()
+    (0..n).map(|_| r.range_i32(-100, 100)).collect()
 }
 
 /// Random `u32` keys.
 pub(crate) fn rand_u32s(seed: u64, n: usize) -> Vec<u32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..1_000_000)).collect()
+    (0..n).map(|_| r.range_u32(0, 1_000_000)).collect()
 }
 
 /// Random bytes.
 pub(crate) fn rand_u8s(seed: u64, n: usize) -> Vec<u8> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen()).collect()
+    (0..n).map(|_| r.next_u8()).collect()
 }
 
 /// Random well-conditioned floats.
 pub(crate) fn rand_f32s(seed: u64, n: usize) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(-4.0f32..4.0)).collect()
+    (0..n).map(|_| r.range_f32(-4.0, 4.0)).collect()
 }
 
 /// The largest power-of-two block size the SM supports, capped at `pref`.

@@ -14,9 +14,8 @@ fn gpu_for(mode: Mode, opts: CheriOpts) -> Gpu {
 fn run_all(mode: Mode, opts: CheriOpts) {
     let mut gpu = gpu_for(mode, opts);
     for b in catalog() {
-        let stats = b
-            .run(&mut gpu, Scale::Test)
-            .unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", b.name()));
+        let stats =
+            b.run(&mut gpu, Scale::Test).unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", b.name()));
         assert!(stats.instrs > 0, "{}", b.name());
         assert!(stats.cycles > 0, "{}", b.name());
     }

@@ -56,7 +56,11 @@ fn main() {
         // One block spanning the whole SM, as in the paper.
         let bd = gpu.sm().config().threads();
         let stats = gpu
-            .launch(&histogram_kernel(), Launch::new(1, bd), &[n.into(), (&d_in).into(), (&d_out).into()])
+            .launch(
+                &histogram_kernel(),
+                Launch::new(1, bd),
+                &[n.into(), (&d_in).into(), (&d_out).into()],
+            )
             .expect("launch");
         assert_eq!(gpu.read(&d_out), expect, "{name}: wrong histogram");
         let base = *baseline_cycles.get_or_insert(stats.cycles);

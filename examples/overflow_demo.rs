@@ -43,8 +43,7 @@ fn main() {
     assert_eq!(leaked, SECRET);
 
     // --- CHERI: deterministic hardware trap ----------------------------
-    let mut gpu =
-        Gpu::new(SmConfig::small(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+    let mut gpu = Gpu::new(SmConfig::small(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
     let data = gpu.alloc_from(&[0xDA1A]);
     let out = gpu.alloc_from(&[0i32]);
     plant_secret(&mut gpu, data.addr());

@@ -25,8 +25,10 @@ fn main() {
     // A CHERI-enabled SM in the paper's optimised configuration. Every
     // pointer the kernel receives is a tagged, bounded capability; loads
     // and stores are hardware bounds-checked.
-    let mut gpu =
-        Gpu::new(SmConfig::with_geometry(16, 32, CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+    let mut gpu = Gpu::new(
+        SmConfig::with_geometry(16, 32, CheriMode::On(CheriOpts::optimised())),
+        Mode::PureCap,
+    );
 
     let n = 4096u32;
     let xs: Vec<f32> = (0..n).map(|v| v as f32).collect();
@@ -35,7 +37,11 @@ fn main() {
     let dy = gpu.alloc_from(&ys);
 
     let stats = gpu
-        .launch(&kernel, Launch::new(8, 128), &[n.into(), 2.0f32.into(), (&dx).into(), (&dy).into()])
+        .launch(
+            &kernel,
+            Launch::new(8, 128),
+            &[n.into(), 2.0f32.into(), (&dx).into(), (&dy).into()],
+        )
         .expect("launch");
 
     let result = gpu.read(&dy);

@@ -14,11 +14,13 @@ fn main() {
     let geometry = |cheri| SmConfig::with_geometry(16, 32, cheri);
 
     println!("running the NoCL suite (Test scale, 16 warps x 32 lanes)\n");
-    println!("{:<12} {:>12} {:>12} {:>9} {:>9}", "benchmark", "base cyc", "cheri cyc", "ovhd", "cheri%");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "base cyc", "cheri cyc", "ovhd", "cheri%"
+    );
 
     let mut base_gpu = Gpu::new(geometry(CheriMode::Off), Mode::Baseline);
-    let mut cheri_gpu =
-        Gpu::new(geometry(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+    let mut cheri_gpu = Gpu::new(geometry(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
 
     let mut ratios = Vec::new();
     for b in catalog() {
@@ -35,8 +37,7 @@ fn main() {
             cheri.cheri_fraction() * 100.0
         );
     }
-    let geomean =
-        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     println!("\ngeomean CHERI execution-time overhead: {:+.1}%", (geomean - 1.0) * 100.0);
     println!("(the paper reports +1.6% on FPGA at 64 warps x 32 lanes)");
 }

@@ -11,8 +11,7 @@ use nocl::{Gpu, Launch};
 use nocl_kir::{Elem, Expr, KernelBuilder, Mode};
 
 fn main() {
-    let mut gpu =
-        Gpu::new(SmConfig::small(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
+    let mut gpu = Gpu::new(SmConfig::small(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
 
     // out[0] = data[0]
     let mut kb = KernelBuilder::new("reader");
@@ -34,8 +33,10 @@ fn main() {
     // device memory pointing into it (here: the one in the kernel argument
     // block) and clears its tag.
     let revoked = gpu.sm_mut().memory_mut().revoke_region(buf.addr(), buf.bytes());
-    println!("free(buf):    revocation sweep cleared {revoked} dangling capabilit{}",
-             if revoked == 1 { "y" } else { "ies" });
+    println!(
+        "free(buf):    revocation sweep cleared {revoked} dangling capabilit{}",
+        if revoked == 1 { "y" } else { "ies" }
+    );
 
     // Re-running the resident kernel against the swept argument block is a
     // use-after-free — and a deterministic tag-violation trap.

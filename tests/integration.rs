@@ -32,10 +32,7 @@ fn cheri_execution_overhead_is_small() {
         h.results(Config::Base { eighths: 3 }).iter().map(|(_, s)| s.cycles).collect();
     let cheri: Vec<u64> = h.results(Config::CheriOpt).iter().map(|(_, s)| s.cycles).collect();
     let g = geomean(base.iter().zip(&cheri).map(|(b, c)| *c as f64 / *b as f64));
-    assert!(
-        (0.98..1.08).contains(&g),
-        "CHERI overhead geomean {g:.3} out of the expected band"
-    );
+    assert!((0.98..1.08).contains(&g), "CHERI overhead geomean {g:.3} out of the expected band");
 }
 
 /// Headline claim: software bounds checking costs far more than CHERI.
@@ -58,11 +55,8 @@ fn rust_costs_more_than_cheri() {
 #[test]
 fn dram_traffic_unchanged_under_cheri() {
     let mut h = Harness::quick();
-    let base: Vec<u64> = h
-        .results(Config::Base { eighths: 3 })
-        .iter()
-        .map(|(_, s)| s.dram.total_bytes())
-        .collect();
+    let base: Vec<u64> =
+        h.results(Config::Base { eighths: 3 }).iter().map(|(_, s)| s.dram.total_bytes()).collect();
     let cheri: Vec<u64> =
         h.results(Config::CheriOpt).iter().map(|(_, s)| s.dram.total_bytes()).collect();
     let g = geomean(base.iter().zip(&cheri).map(|(b, c)| *c as f64 / (*b).max(1) as f64));
@@ -89,10 +83,7 @@ fn metadata_compression_claims() {
 /// end to end in the optimised CHERI configuration.
 #[test]
 fn full_geometry_smoke() {
-    let mut gpu = Gpu::new(
-        SmConfig::full(CheriMode::On(CheriOpts::optimised())),
-        Mode::PureCap,
-    );
+    let mut gpu = Gpu::new(SmConfig::full(CheriMode::On(CheriOpts::optimised())), Mode::PureCap);
     let vecadd = catalog()[0];
     let stats = vecadd.run(&mut gpu, Scale::Test).expect("vecadd at 64x32");
     assert!(stats.instrs > 0);

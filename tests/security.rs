@@ -147,7 +147,7 @@ fn figure1_three_postures() {
     let a = gpu.alloc::<i32>(8);
     let neighbour = gpu.alloc_from(&[0i32; 16]);
     gpu.launch(&overrun(), Launch::new(1, 8), &[(&a).into()]).expect("baseline is oblivious");
-    assert!(gpu.read(&neighbour).iter().any(|&v| v == 0x41));
+    assert!(gpu.read(&neighbour).contains(&0x41));
 
     // CHERI: trap.
     let mut gpu = cheri_gpu();
