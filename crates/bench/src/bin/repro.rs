@@ -3,6 +3,8 @@
 //! ```text
 //! usage: repro [--quick] [--jobs N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
 //!        repro disasm <benchmark> <mode>
+//!        repro trace <benchmark|all> [--mode M] [--format chrome|jsonl] [--trace-out FILE] [--paper]
+//!        repro validate-trace <file>
 //! ```
 //!
 //! Without `--quick`, experiments run at the paper's geometry (64 warps ×
@@ -13,42 +15,70 @@
 //! count for the parallel suite runner; the default is the machine's
 //! available parallelism. Output is bit-identical for every worker count —
 //! `--jobs 1` runs the same engine serially.
+//!
+//! `trace` runs benchmarks with the structured event sink attached and
+//! exports the stream (`--trace-out FILE`, or stdout). Unlike the
+//! experiments it defaults to the *quick* geometry — a paper-scale trace is
+//! hundreds of millions of events — with `--paper` as the opt-in. The
+//! default `--format chrome` opens directly in [Perfetto]; `--mode`
+//! defaults to `purecap`. See `docs/TRACING.md` for the schema.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
 
 use repro::{
-    ablate, default_jobs, disasm, fig10, fig11, fig12, fig13, fig14, fig15, fig6, fig7, multism,
-    table1, table2, table3, tagsweep, vrfsweep, Harness,
+    ablate, default_jobs, disasm, export_runs, fig10, fig11, fig12, fig13, fig14, fig15, fig6,
+    fig7, multism, resolve_benches, table1, table2, table3, tagsweep, trace_config, trace_suite,
+    trace_summary, vrfsweep, Geometry, Harness, TraceFormat,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut paper = false;
     let mut jobs = default_jobs();
+    let mut mode_name = String::from("purecap");
+    let mut format_name = String::from("chrome");
+    let mut trace_out: Option<String> = None;
     let mut what: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => jobs = n,
+        // `--flag value` and `--flag=value` are both accepted.
+        let mut take = |flag: &str| -> Option<String> {
+            if a == flag {
+                let v = it.next().cloned();
+                if v.is_none() {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                }
+                v
+            } else {
+                a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = take("--jobs") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs a positive integer");
                     std::process::exit(2);
                 }
-            },
-            other if other.starts_with("--jobs=") => {
-                match other["--jobs=".len()..].parse::<usize>() {
-                    Ok(n) if n >= 1 => jobs = n,
-                    _ => {
-                        eprintln!("--jobs needs a positive integer");
-                        std::process::exit(2);
-                    }
+            }
+        } else if let Some(v) = take("--mode") {
+            mode_name = v;
+        } else if let Some(v) = take("--format") {
+            format_name = v;
+        } else if let Some(v) = take("--trace-out") {
+            trace_out = Some(v);
+        } else {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--paper" => paper = true,
+                other if other.starts_with("--") => {
+                    eprintln!("unknown option: {other}");
+                    std::process::exit(2);
                 }
+                other => what.push(other),
             }
-            other if other.starts_with("--") => {
-                eprintln!("unknown option: {other}");
-                std::process::exit(2);
-            }
-            other => what.push(other),
         }
     }
     let what = if what.is_empty() { vec!["all"] } else { what };
@@ -67,6 +97,72 @@ fn main() {
                 eprintln!(
                     "usage: repro disasm <benchmark> <baseline|purecap|rust|rustfull|gpushield>"
                 );
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    // Structured tracing: repro trace <benchmark|all> [--mode M] [--format F]
+    // [--trace-out FILE] [--paper]. Defaults to the quick geometry (a
+    // paper-scale trace is enormous); `--paper` opts in.
+    if what.first() == Some(&"trace") {
+        let bench = match what.as_slice() {
+            [_, bench] => *bench,
+            _ => {
+                eprintln!("usage: repro trace <benchmark|all> [--mode M] [--format chrome|jsonl] [--trace-out FILE] [--paper]");
+                std::process::exit(2);
+            }
+        };
+        let run = || -> Result<(), String> {
+            let format: TraceFormat = format_name.parse()?;
+            let config = trace_config(&mode_name)?;
+            let benches = resolve_benches(bench)?;
+            let geometry = if paper { Geometry::Full } else { Geometry::Small };
+            eprintln!(
+                "[repro] tracing {} cell(s) [{mode_name}] on {jobs} worker(s) ...",
+                benches.len()
+            );
+            let runs = trace_suite(&benches, config, geometry, jobs)?;
+            eprint!("{}", trace_summary(&runs));
+            let out = export_runs(&runs, format);
+            match &trace_out {
+                Some(path) => {
+                    std::fs::write(path, &out).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("[repro] wrote {} bytes to {path}", out.len());
+                }
+                None => print!("{out}"),
+            }
+            Ok(())
+        };
+        if let Err(e) = run() {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    // Schema validation: repro validate-trace <file> — the CI smoke check.
+    if what.first() == Some(&"validate-trace") {
+        match what.as_slice() {
+            [_, file] => {
+                let input = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                    eprintln!("reading {file}: {e}");
+                    std::process::exit(2);
+                });
+                match cheri_simt::trace::validate::validate_auto(&input) {
+                    Ok((format, s)) => println!(
+                        "{file}: valid {format} trace — {} events, {} metadata, {} counter samples, {} process(es)",
+                        s.events, s.metadata, s.counters, s.processes
+                    ),
+                    Err(e) => {
+                        eprintln!("{file}: INVALID — {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("usage: repro validate-trace <file>");
                 std::process::exit(2);
             }
         }

@@ -10,9 +10,14 @@
 
 mod experiments;
 mod runner;
+mod trace;
 
 pub use experiments::*;
 pub use runner::{default_jobs, run_indexed, run_suite_parallel, CellError};
+pub use trace::{
+    export_runs, reconcile, resolve_benches, trace_config, trace_suite, trace_summary, TraceFormat,
+    TracedRun,
+};
 
 use cheri_simt::{CheriMode, CheriOpts, KernelStats, SmConfig};
 use nocl_kir::Mode;

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `repro trace` path: worker-count determinism,
+//! trace/counter reconciliation through the full `Gpu` launch path, and
+//! zero stats drift when tracing is disabled.
+
+use cheri_simt::trace::validate::validate_auto;
+use cheri_simt::trace::TraceEvent;
+use nocl::Gpu;
+use nocl_suite::{NoclBench, Scale};
+use repro::{
+    export_runs, reconcile, resolve_benches, trace_config, trace_suite, Geometry, TraceFormat,
+};
+
+fn benches(names: &[&str]) -> Vec<&'static dyn NoclBench> {
+    names.iter().flat_map(|n| resolve_benches(n).unwrap()).collect()
+}
+
+/// The tentpole determinism guarantee: tracing composes with the parallel
+/// runner, and the exported file is byte-identical at every worker count.
+#[test]
+fn exports_are_byte_identical_across_worker_counts() {
+    let benches = benches(&["vecadd", "reduce", "scan"]);
+    let config = trace_config("purecap").unwrap();
+    let serial = trace_suite(&benches, config, Geometry::Small, 1).unwrap();
+    let parallel = trace_suite(&benches, config, Geometry::Small, 8).unwrap();
+    for format in [TraceFormat::Chrome, TraceFormat::Jsonl] {
+        let a = export_runs(&serial, format);
+        let b = export_runs(&parallel, format);
+        assert!(a == b, "{format:?} export differs between --jobs 1 and --jobs 8");
+        let (_, summary) = validate_auto(&a).unwrap_or_else(|e| panic!("{format:?}: {e}"));
+        assert!(summary.events > 0);
+    }
+}
+
+/// A multi-launch benchmark accumulates one stream with one `launch` marker
+/// per kernel launch, and the accumulated stream still reconciles exactly
+/// with the accumulated counters.
+#[test]
+fn multi_launch_stream_reconciles() {
+    let benches = resolve_benches("bitonicla").unwrap();
+    let runs = trace_suite(&benches, trace_config("purecap").unwrap(), Geometry::Small, 1).unwrap();
+    let launches = runs[0].events.iter().filter(|e| matches!(e, TraceEvent::Launch { .. })).count();
+    assert!(launches > 1, "BitonicLa launches phase kernels ({launches} launches seen)");
+    reconcile(&runs[0].events, &runs[0].stats).unwrap();
+}
+
+/// Attaching a sink must not perturb the simulation: the traced run's
+/// statistics equal an untraced run's, field for field.
+#[test]
+fn tracing_causes_zero_stats_drift() {
+    for mode in ["baseline", "purecap", "rust"] {
+        let benches = resolve_benches("histogram").unwrap();
+        let config = trace_config(mode).unwrap();
+        let traced = trace_suite(&benches, config, Geometry::Small, 1).unwrap();
+        let (cfg, kir_mode) = config.instantiate(Geometry::Small);
+        let mut gpu = Gpu::new(cfg, kir_mode);
+        let untraced = benches[0].run(&mut gpu, Scale::Test).unwrap();
+        assert_eq!(untraced, traced[0].stats, "stats drifted under tracing [{mode}]");
+    }
+}
+
+/// The validator accepts both exports of a real run and rejects the same
+/// bytes once corrupted.
+#[test]
+fn validator_accepts_real_traces_and_rejects_corruption() {
+    let benches = resolve_benches("vecadd").unwrap();
+    let runs =
+        trace_suite(&benches, trace_config("baseline").unwrap(), Geometry::Small, 1).unwrap();
+    let chrome = export_runs(&runs, TraceFormat::Chrome);
+    let jsonl = export_runs(&runs, TraceFormat::Jsonl);
+    assert_eq!(validate_auto(&chrome).unwrap().0, "chrome");
+    assert_eq!(validate_auto(&jsonl).unwrap().0, "jsonl");
+    // An unknown event type must be caught in either format.
+    assert!(validate_auto(&chrome.replace("\"issue\"", "\"bogus\"")).is_err());
+    assert!(validate_auto(&jsonl.replace("\"issue\"", "\"bogus\"")).is_err());
+    // Truncation must be caught in the whole-document format.
+    assert!(validate_auto(&chrome[..chrome.len() - 2]).is_err());
+}

@@ -1,24 +1,49 @@
 //! Performance counters collected during a kernel run.
 //!
 //! These are the model's equivalent of SIMTight's hardware performance
-//! counters, sized to regenerate Figures 6, 10, 11, 12 and 13.
+//! counters, sized to regenerate Figures 6, 10, 11, 12 and 13. Every field
+//! documents the **counters → figures contract**: which SIMTight counter it
+//! models and which paper figure/table consumes it (the same table appears
+//! in `EXPERIMENTS.md`, with the `repro` invocation that regenerates each
+//! figure). The structured tracing layer (`simt-trace`) emits one event per
+//! counter increment, so an exported trace reconciles *exactly* with these
+//! aggregates — `crates/bench/src/trace.rs::reconcile` is the executable
+//! form of that contract.
 
 use simt_mem::{DramStats, ScratchStats, TagCacheStats};
 use simt_regfile::RfStats;
 use std::collections::BTreeMap;
 
 /// Pipeline stall cycles by cause.
+///
+/// Attributes the cycle gap between `cycles` and `instrs` to the CHERI
+/// mechanisms of Section 3, explaining *where* the Figure 13 slowdown comes
+/// from. SIMTight exposes the same information as pipeline-suspension
+/// counters; the field names here are also the stable `cause` names used by
+/// `simt_trace::StallCause`, and per-cause cycle sums over a trace's
+/// `stall` events reconcile exactly with these fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Extra operand-fetch cycles for `CSC` (single-read-port metadata SRF).
+    /// Models SIMTight's capability-store serialisation suspension; part of
+    /// the Figure 13 cycle overhead attributed to Section 3.1's compressed
+    /// metadata register file.
     pub csc_serialisation: u64,
-    /// Serialised data+metadata reads against the shared VRF.
+    /// Serialised data+metadata reads against the shared VRF. Models the
+    /// shared-VRF port-conflict suspension of Section 3.2; part of the
+    /// Figure 13 cycle overhead.
     pub shared_vrf_conflict: u64,
-    /// Register spill/fill handling cycles.
+    /// Register spill/fill handling cycles. Models SIMTight's dynamic
+    /// register-spill suspension (Section 2.3's scalarising register file);
+    /// feeds the Table 2 cycle-overhead column and Figure 13.
     pub spill_fill: u64,
-    /// Second flits of capability-wide accesses (`CLC`/`CSC`).
+    /// Second flits of capability-wide accesses (`CLC`/`CSC`). Models the
+    /// extra occupancy of 64-bit capability transfers on a 32-bit datapath
+    /// (Section 3.1); part of the Figure 13 cycle overhead.
     pub cap_multi_flit: u64,
     /// Cycles with no warp ready to issue (memory/SFU latency not hidden).
+    /// Models SIMTight's null-issue (pipeline-bubble) counter; the residual
+    /// term when decomposing Figure 13 slowdowns.
     pub idle: u64,
 }
 
@@ -35,48 +60,81 @@ impl StallBreakdown {
 /// parallel-runner determinism tests compare whole suites structurally.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
-    /// Total cycles from launch to the last warp's termination.
+    /// Total cycles from launch to the last warp's termination. Models
+    /// SIMTight's cycle counter (CSR `mcycle`); the numerator of every
+    /// runtime-overhead figure — Table 2, Figures 13 and 14 all compare
+    /// per-configuration `cycles` ratios.
     pub cycles: u64,
-    /// Warp-instructions issued.
+    /// Warp-instructions issued. Models SIMTight's instruction-retire
+    /// counter (CSR `minstret`) at warp granularity; with `cycles` it gives
+    /// the IPC used in the Figure 13 discussion. Equals the number of
+    /// `issue` events in a structured trace.
     pub instrs: u64,
     /// Thread-instructions executed (warp-instructions × active lanes).
+    /// Models SIMTight's SIMT-convergence counter pair (instructions ×
+    /// active-thread count), quantifying divergence; equals the sum of
+    /// `issue`-event active-mask popcounts in a trace.
     pub thread_instrs: u64,
-    /// Executed CHERI instructions by mnemonic (Figure 6). Standard
+    /// Executed CHERI instructions by mnemonic — the histogram behind
+    /// **Figure 6** (CHERI instruction execution frequency). Standard
     /// encodings executed in capability mode count under their CHERI name
     /// (`lw` → `CLW`, `jal` → `CJAL`, ...).
     pub cheri_histogram: BTreeMap<&'static str, u64>,
-    /// Stall cycles by cause.
+    /// Stall cycles by cause — the Figure 13 overhead decomposition; see
+    /// [`StallBreakdown`] for the per-field contract.
     pub stalls: StallBreakdown,
-    /// DRAM traffic.
+    /// DRAM traffic. Models SIMTight's DRAM-access counters; total bytes
+    /// feed **Figure 12** (DRAM bandwidth usage) and the Table 2
+    /// memory-overhead column, and `tag_transactions` isolates the tag
+    /// controller's share (Section 2.4).
     pub dram: DramStats,
-    /// Tag-cache behaviour.
+    /// Tag-cache behaviour (hits/misses/writebacks). Models the tag
+    /// controller's cache counters backing the Section 2.4 claim that a
+    /// modest tag cache makes tag traffic "almost zero" (`repro tagsweep`).
     pub tag_cache: TagCacheStats,
-    /// Scratchpad behaviour.
+    /// Scratchpad behaviour (accesses and bank-conflict serialisation
+    /// cycles). Models SIMTight's shared-local-memory counters; background
+    /// term of the Figure 13 cycle decomposition.
     pub scratch: ScratchStats,
-    /// Data register file statistics.
+    /// Data register file statistics (spills, fills, scalar/vector writes).
+    /// Models the scalarising-register-file counters of Section 2.3;
+    /// baseline term of **Figure 10** and Table 2.
     pub data_rf: RfStats,
-    /// Metadata register file statistics (zeroed when CHERI is off).
+    /// Metadata register file statistics (zeroed when CHERI is off). The
+    /// Section 3.1 compressed capability-metadata file's counters; CHERI
+    /// term of **Figure 10**.
     pub meta_rf: RfStats,
-    /// Time-averaged number of data vectors resident in the VRF.
+    /// Time-averaged number of data vectors resident in the VRF. Models
+    /// SIMTight's vector-register residency counter (sampled per cycle);
+    /// the "average" series of **Figure 10**'s left half.
     pub avg_data_vrf_resident: f64,
-    /// Time-averaged number of metadata vectors resident in the VRF.
+    /// Time-averaged number of metadata vectors resident in the VRF — the
+    /// "average" series of **Figure 10**'s right half, and the quantity the
+    /// null-value optimisation (Section 3.2) shrinks.
     pub avg_meta_vrf_resident: f64,
-    /// Peak data vectors resident in the VRF.
+    /// Peak data vectors resident in the VRF. Sizes the VRF so dynamic
+    /// spilling stays rare — the "peak" series of **Figure 10** (left).
     pub peak_data_vrf_resident: u32,
-    /// Peak metadata vectors resident in the VRF.
+    /// Peak metadata vectors resident in the VRF — the "peak" series of
+    /// **Figure 10** (right).
     pub peak_meta_vrf_resident: u32,
     /// Max architectural registers per thread that ever held a capability
-    /// (Figure 11).
+    /// (**Figure 11**: capability registers in use).
     pub cap_regs_used: u32,
     /// Union bitmask of registers that ever held a capability (bit r =
     /// register r) — verifies the §4.3 capability-register-limit forecast.
     pub cap_regs_mask: u32,
     /// SFU requests served (FP div/sqrt and, when offloaded, cap ops).
+    /// Models the shared-function-unit request counter of Section 3.3;
+    /// supports the claim that offloading cold CHERI ops barely loads the
+    /// SFU. Equals the number of `sfu` events in a trace.
     pub sfu_requests: u64,
-    /// Warp-level barrier waits.
+    /// Warp-level barrier waits. Models SIMTight's barrier counter; equals
+    /// the number of `barrier` arrival events in a trace.
     pub barriers: u64,
     /// Warp accesses absorbed by the compressed stack cache (zero unless
-    /// the Section-4.4 proof-of-concept feature is enabled).
+    /// the Section-4.4 proof-of-concept feature is enabled; `repro ablate`
+    /// reports its effect).
     pub stack_cache_hits: u64,
 }
 

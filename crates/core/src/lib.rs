@@ -58,6 +58,9 @@ pub mod warp;
 
 pub use config::{CheriMode, CheriOpts, SmConfig, Timing};
 pub use counters::{KernelStats, StallBreakdown};
+/// Structured tracing: re-exported so consumers can name sinks and events
+/// without depending on `simt-trace` directly.
+pub use simt_trace as trace;
 pub use sm::{Sm, TraceEntry};
 pub use trap::{RunError, Trap, TrapCause};
 

@@ -12,6 +12,7 @@ use simt_mem::{
     map, CoalescingUnit, Dram, LaneRequest, MainMemory, MemFault, Scratchpad, TagController,
 };
 use simt_regfile::{CompressedRegFile, ReadInfo, RfConfig, WriteInfo, MAX_LANES, NULL_META};
+use simt_trace::{EventSink, MemSpace, StallCause, TraceEvent, NO_WARP};
 
 /// One retired warp-instruction, captured when tracing is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,11 @@ pub struct Sm {
     /// Execution trace ring buffer (empty capacity = tracing off).
     trace: std::collections::VecDeque<TraceEntry>,
     trace_capacity: usize,
+    /// Entries evicted from the legacy ring since it was last enabled.
+    trace_dropped: u64,
+    /// Structured event sink (`None` = tracing off; the pipeline and the
+    /// memory hierarchy emit nothing and take only an `Option` branch).
+    sink: Option<Box<dyn EventSink>>,
     stats: KernelStats,
     cycle: u64,
     rr: usize,
@@ -144,6 +150,8 @@ impl Sm {
             bounds_table: None,
             trace: std::collections::VecDeque::new(),
             trace_capacity: 0,
+            trace_dropped: 0,
+            sink: None,
             stats: KernelStats::default(),
             cycle: 0,
             rr: 0,
@@ -182,14 +190,65 @@ impl Sm {
     /// Keep a rolling trace of the last `capacity` retired
     /// warp-instructions (0 disables tracing). Invaluable when a kernel
     /// traps: the tail of the trace shows how it got there.
+    ///
+    /// **Ring-buffer semantics**: once `capacity` entries have been
+    /// recorded, each further retirement evicts the *oldest* entry — the
+    /// buffer always holds the most recent `capacity` warp-instructions.
+    /// Evictions are counted and reported by [`Sm::trace_dropped`].
+    /// Re-enabling clears the buffer and the dropped count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Sm::set_sink with a simt_trace::RingSink or VecSink — the structured \
+                sink API captures the same issue stream plus stalls, memory shape and \
+                register-file events, with explicit overflow accounting"
+    )]
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace_capacity = capacity;
         self.trace.clear();
+        self.trace_dropped = 0;
     }
 
-    /// The trace buffer, oldest first.
+    /// The legacy trace buffer, oldest first.
     pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
         self.trace.iter()
+    }
+
+    /// Entries evicted from the legacy ring buffer since tracing was last
+    /// enabled. A non-zero value means [`Sm::trace`] shows only the tail of
+    /// the execution.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Attach a structured event sink: the pipeline, memory hierarchy and
+    /// register files will emit [`simt_trace::TraceEvent`]s into it from now
+    /// on. The sink survives [`Sm::reset`] (each launch is delimited by a
+    /// [`simt_trace::TraceEvent::Launch`] marker), so a multi-launch
+    /// benchmark accumulates one continuous stream. Replaces any previously
+    /// attached sink.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current event sink, disabling structured
+    /// tracing. Use [`EventSink::as_any`] to downcast to the concrete sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    /// Is a structured event sink attached?
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit a stall event (no-op without a sink or for zero-cycle stalls, so
+    /// per-cause cycle sums always reconcile with `StallBreakdown`).
+    fn emit_stall(&mut self, warp: u32, cause: StallCause, cycles: u64) {
+        if cycles > 0 {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.emit(TraceEvent::Stall { cycle: self.cycle, warp, cause, cycles });
+            }
+        }
     }
 
     /// Install (or clear) a GPUShield-style bounds table for the next run
@@ -262,6 +321,11 @@ impl Sm {
         self.samples = 0;
         self.sum_data_resident = 0;
         self.sum_meta_resident = 0;
+        // The sink deliberately survives the reset: each launch contributes
+        // a delimited segment to one continuous stream.
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(TraceEvent::Launch { cycle: 0, warps: self.cfg.warps });
+        }
     }
 
     /// Run until every thread terminates; returns the collected statistics.
@@ -311,6 +375,7 @@ impl Sm {
                     match next {
                         Some(t) if t > self.cycle => {
                             self.stats.stalls.idle += t - self.cycle;
+                            self.emit_stall(NO_WARP, StallCause::Idle, t - self.cycle);
                             self.cycle = t;
                         }
                         _ => {
@@ -359,13 +424,27 @@ impl Sm {
                 group.clone().all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
             if any_blocked && all_parked {
                 for w in group {
-                    let warp = &mut self.warps[w];
-                    for s in &mut warp.status {
-                        if *s == ThreadStatus::AtBarrier {
-                            *s = ThreadStatus::Active;
+                    let released = {
+                        let warp = &mut self.warps[w];
+                        let mut released = false;
+                        for s in &mut warp.status {
+                            if *s == ThreadStatus::AtBarrier {
+                                *s = ThreadStatus::Active;
+                                released = true;
+                            }
+                        }
+                        warp.ready_at = warp.ready_at.max(self.cycle + 1);
+                        released
+                    };
+                    if released {
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.emit(TraceEvent::Barrier {
+                                cycle: self.cycle,
+                                warp: w as u32,
+                                release: true,
+                            });
                         }
                     }
-                    warp.ready_at = warp.ready_at.max(self.cycle + 1);
                 }
             }
             b += per_block;
@@ -436,6 +515,7 @@ impl Sm {
             if o.shared_vrf && d.from_vrf && m.from_vrf {
                 costs.extra_cycles += 1;
                 self.stats.stalls.shared_vrf_conflict += 1;
+                self.emit_stall(w, StallCause::SharedVrfConflict, 1);
             }
         }
     }
@@ -444,7 +524,12 @@ impl Sm {
         if rd.is_zero() {
             return;
         }
-        let info = self.data_rf.write(w, rd.index() as u32, vals, mask);
+        let info = match self.sink.as_deref_mut() {
+            Some(sink) => {
+                self.data_rf.write_traced(w, rd.index() as u32, vals, mask, self.cycle, sink)
+            }
+            None => self.data_rf.write(w, rd.index() as u32, vals, mask),
+        };
         costs.add_write(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
     }
 
@@ -454,8 +539,12 @@ impl Sm {
         }
         let lanes = self.cfg.lanes;
         let spill = self.cfg.timing.spill_cycles;
+        let cycle = self.cycle;
         if let Some(rf) = self.meta_rf.as_mut() {
-            let info = rf.write(w, rd.index() as u32, vals, mask);
+            let info = match self.sink.as_deref_mut() {
+                Some(sink) => rf.write_traced(w, rd.index() as u32, vals, mask, cycle, sink),
+                None => rf.write(w, rd.index() as u32, vals, mask),
+            };
             costs.add_write(spill, lanes, info);
         }
     }
@@ -524,6 +613,7 @@ impl Sm {
         if self.trace_capacity > 0 {
             if self.trace.len() == self.trace_capacity {
                 self.trace.pop_front();
+                self.trace_dropped += 1;
             }
             self.trace.push_back(TraceEntry {
                 cycle: self.cycle,
@@ -531,6 +621,15 @@ impl Sm {
                 mask: sel.mask,
                 pc: sel.pc,
                 instr,
+            });
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(TraceEvent::Issue {
+                cycle: self.cycle,
+                warp: wid,
+                pc: sel.pc,
+                mask: sel.mask,
+                mnemonic: instr.mnemonic(),
             });
         }
         self.stats.instrs += 1;
@@ -547,8 +646,23 @@ impl Sm {
         // Apply accumulated costs.
         self.cycle += (costs.extra_cycles + costs.spill_cycles) as u64;
         self.stats.stalls.spill_fill += costs.spill_cycles as u64;
+        self.emit_stall(wid, StallCause::SpillFill, costs.spill_cycles as u64);
         if costs.dram_reads + costs.dram_writes > 0 {
-            self.dram.access(self.cycle, costs.dram_reads, costs.dram_writes, 0);
+            match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    self.dram.access_traced(
+                        self.cycle,
+                        costs.dram_reads,
+                        costs.dram_writes,
+                        0,
+                        wid,
+                        sink,
+                    );
+                }
+                None => {
+                    self.dram.access(self.cycle, costs.dram_reads, costs.dram_writes, 0);
+                }
+            }
         }
         result
     }
@@ -724,6 +838,11 @@ impl Sm {
             Instr::Clc { cd, cs1, off } => {
                 self.stats.count_cheri("CLC", 1);
                 self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
+                self.emit_stall(
+                    w,
+                    StallCause::CapMultiFlit,
+                    self.cfg.timing.cap_access_extra as u64,
+                );
                 costs.extra_cycles += self.cfg.timing.cap_access_extra;
                 self.do_load_store(
                     w,
@@ -746,6 +865,11 @@ impl Sm {
             Instr::Csc { cs2, cs1, off } => {
                 self.stats.count_cheri("CSC", 1);
                 self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
+                self.emit_stall(
+                    w,
+                    StallCause::CapMultiFlit,
+                    self.cfg.timing.cap_access_extra as u64,
+                );
                 costs.extra_cycles += self.cfg.timing.cap_access_extra;
                 // Single-read-port metadata SRF: CSC needs cs1 and cs2
                 // metadata, costing an extra operand-fetch cycle in the
@@ -754,6 +878,7 @@ impl Sm {
                     if o.compress_meta {
                         costs.extra_cycles += 1;
                         self.stats.stalls.csc_serialisation += 1;
+                        self.emit_stall(w, StallCause::CscSerialisation, 1);
                     }
                 }
                 self.do_load_store(
@@ -989,6 +1114,9 @@ impl Sm {
             }
             Instr::Simt { op: SimtOp::Barrier } => {
                 self.stats.barriers += 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.emit(TraceEvent::Barrier { cycle: self.cycle, warp: w, release: false });
+                }
                 status_change = Some(ThreadStatus::AtBarrier);
             }
         }
@@ -1029,6 +1157,14 @@ impl Sm {
     fn sfu_suspend(&mut self, w: u32, sel: &Selection) {
         self.stats.sfu_requests += 1;
         let lat = self.cfg.timing.sfu_latency as u64 + sel.mask.count_ones() as u64;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(TraceEvent::Sfu {
+                cycle: self.cycle,
+                warp: w,
+                lanes: sel.mask.count_ones(),
+                latency: lat,
+            });
+        }
         self.warps[w as usize].ready_at = self.cycle + lat;
     }
 
@@ -1369,27 +1505,55 @@ impl Sm {
             && is_affine(dram_reqs)
         {
             self.stats.stack_cache_hits += 1;
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.emit(TraceEvent::Mem {
+                    cycle: self.cycle,
+                    warp: w,
+                    space: MemSpace::StackCache,
+                    is_store,
+                    lanes: dram_reqs.len() as u32,
+                    transactions: 0,
+                    uniform: dram_reqs.iter().all(|r| r.addr == dram_reqs[0].addr),
+                    conflict_cycles: 0,
+                });
+            }
             done_at = done_at.max(self.cycle + 2);
             &[]
         } else {
             dram_reqs
         };
         if !dram_reqs.is_empty() {
-            let co = self.coalescer.coalesce(dram_reqs);
+            let co = match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    self.coalescer.coalesce_traced(dram_reqs, self.cycle, w, is_store, sink)
+                }
+                None => self.coalescer.coalesce(dram_reqs),
+            };
             // Tag controller: one lookup per unique 64-byte block.
             let mut blocks: Vec<u32> = dram_reqs.iter().map(|r| r.addr / 64).collect();
             blocks.sort_unstable();
             blocks.dedup();
             let mut tag_txns = 0;
             for b in &blocks {
-                tag_txns += self.tags.on_access(b * 64, is_store);
+                tag_txns += match self.sink.as_deref_mut() {
+                    Some(sink) => self.tags.on_access_traced(b * 64, is_store, self.cycle, w, sink),
+                    None => self.tags.on_access(b * 64, is_store),
+                };
             }
             let (reads, writes) =
                 if is_store { (0, co.transactions) } else { (co.transactions, 0) };
-            done_at = done_at.max(self.dram.access(self.cycle, reads, writes, tag_txns));
+            done_at = done_at.max(match self.sink.as_deref_mut() {
+                Some(sink) => self.dram.access_traced(self.cycle, reads, writes, tag_txns, w, sink),
+                None => self.dram.access(self.cycle, reads, writes, tag_txns),
+            });
         }
         if !scratch_reqs.is_empty() {
-            let cycles = self.scratch.warp_cycles(scratch_reqs);
+            let cycles = match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    self.scratch.warp_cycles_traced(scratch_reqs, self.cycle, w, is_store, sink)
+                }
+                None => self.scratch.warp_cycles(scratch_reqs),
+            };
             done_at = done_at.max(self.cycle + (self.cfg.timing.scratch_latency + cycles) as u64);
         }
         let warp = &mut self.warps[w as usize];

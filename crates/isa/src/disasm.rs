@@ -19,6 +19,135 @@ fn alu_name(op: AluOp) -> &'static str {
     }
 }
 
+impl Instr {
+    /// Bare mnemonic of the instruction, without operands — the compact
+    /// per-issue label used by the structured trace (`simt-trace`) and the
+    /// per-mnemonic CHERI histogram.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instr::*;
+        match *self {
+            Lui { .. } => "lui",
+            Auipc { .. } => "auipcc",
+            Jal { .. } => "cjal",
+            Jalr { .. } => "cjalr",
+            Branch { cond, .. } => match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+                BranchCond::Ltu => "bltu",
+                BranchCond::Geu => "bgeu",
+            },
+            Load { w, .. } => match w {
+                LoadWidth::B => "lb",
+                LoadWidth::H => "lh",
+                LoadWidth::W => "lw",
+                LoadWidth::Bu => "lbu",
+                LoadWidth::Hu => "lhu",
+            },
+            Store { w, .. } => match w {
+                StoreWidth::B => "sb",
+                StoreWidth::H => "sh",
+                StoreWidth::W => "sw",
+            },
+            OpImm { op, .. } => match op {
+                AluOp::Add => "addi",
+                AluOp::Sub => "subi",
+                AluOp::Sll => "slli",
+                AluOp::Slt => "slti",
+                AluOp::Sltu => "sltui",
+                AluOp::Xor => "xori",
+                AluOp::Srl => "srli",
+                AluOp::Sra => "srai",
+                AluOp::Or => "ori",
+                AluOp::And => "andi",
+            },
+            Op { op, .. } => alu_name(op),
+            MulDiv { op, .. } => match op {
+                MulOp::Mul => "mul",
+                MulOp::Mulh => "mulh",
+                MulOp::Mulhsu => "mulhsu",
+                MulOp::Mulhu => "mulhu",
+                MulOp::Div => "div",
+                MulOp::Divu => "divu",
+                MulOp::Rem => "rem",
+                MulOp::Remu => "remu",
+            },
+            Amo { op, .. } => match op {
+                AmoOp::Swap => "amoswap.w",
+                AmoOp::Add => "amoadd.w",
+                AmoOp::Xor => "amoxor.w",
+                AmoOp::Or => "amoor.w",
+                AmoOp::And => "amoand.w",
+                AmoOp::Min => "amomin.w",
+                AmoOp::Max => "amomax.w",
+                AmoOp::Minu => "amominu.w",
+                AmoOp::Maxu => "amomaxu.w",
+            },
+            Fence => "fence",
+            Ecall => "ecall",
+            Ebreak => "ebreak",
+            Csrrs { .. } => "csrrs",
+            FOp { op, .. } => match op {
+                FpOp::Add => "fadd.s",
+                FpOp::Sub => "fsub.s",
+                FpOp::Mul => "fmul.s",
+                FpOp::Div => "fdiv.s",
+                FpOp::Min => "fmin.s",
+                FpOp::Max => "fmax.s",
+            },
+            FSqrt { .. } => "fsqrt.s",
+            FCmp { op, .. } => match op {
+                FcmpOp::Eq => "feq.s",
+                FcmpOp::Lt => "flt.s",
+                FcmpOp::Le => "fle.s",
+            },
+            FCvtWS { signed, .. } => {
+                if signed {
+                    "fcvt.w.s"
+                } else {
+                    "fcvt.wu.s"
+                }
+            }
+            FCvtSW { signed, .. } => {
+                if signed {
+                    "fcvt.s.w"
+                } else {
+                    "fcvt.s.wu"
+                }
+            }
+            CapUnary { op, .. } => match op {
+                UnaryCapOp::GetTag => "cgettag",
+                UnaryCapOp::ClearTag => "ccleartag",
+                UnaryCapOp::GetPerm => "cgetperm",
+                UnaryCapOp::GetBase => "cgetbase",
+                UnaryCapOp::GetLen => "cgetlen",
+                UnaryCapOp::GetType => "cgettype",
+                UnaryCapOp::GetSealed => "cgetsealed",
+                UnaryCapOp::GetFlags => "cgetflags",
+                UnaryCapOp::GetAddr => "cgetaddr",
+                UnaryCapOp::Move => "cmove",
+                UnaryCapOp::SealEntry => "csealentry",
+                UnaryCapOp::Crrl => "crrl",
+                UnaryCapOp::Cram => "cram",
+            },
+            CAndPerm { .. } => "candperm",
+            CSetFlags { .. } => "csetflags",
+            CSetAddr { .. } => "csetaddr",
+            CIncOffset { .. } => "cincoffset",
+            CIncOffsetImm { .. } => "cincoffsetimm",
+            CSetBounds { .. } => "csetbounds",
+            CSetBoundsExact { .. } => "csetboundsexact",
+            CSetBoundsImm { .. } => "csetboundsimm",
+            Clc { .. } => "clc",
+            Csc { .. } => "csc",
+            CSpecialRw { .. } => "cspecialrw",
+            Simt { op: SimtOp::Terminate } => "simt.terminate",
+            Simt { op: SimtOp::Barrier } => "simt.barrier",
+        }
+    }
+}
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use Instr::*;
@@ -165,6 +294,23 @@ impl fmt::Display for Instr {
 mod tests {
     use super::*;
     use crate::Reg;
+
+    #[test]
+    fn mnemonics_match_display_heads() {
+        let cases = [
+            Instr::Load { w: LoadWidth::W, rd: Reg::A0, rs1: Reg::SP, off: 8 },
+            Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 1 },
+            Instr::Op { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::Clc { cd: Reg::A0, cs1: Reg::A1, off: 0 },
+            Instr::Simt { op: SimtOp::Barrier },
+            Instr::FCvtWS { rd: Reg::A0, rs1: Reg::A1, signed: false },
+        ];
+        for i in &cases {
+            let full = i.to_string();
+            let head = full.split_whitespace().next().unwrap();
+            assert_eq!(i.mnemonic(), head, "mnemonic mismatch for '{full}'");
+        }
+    }
 
     #[test]
     fn representative_disassembly() {

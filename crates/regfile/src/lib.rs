@@ -44,6 +44,8 @@ mod storage;
 
 pub use storage::{uncompressed_bits, RegFileStorage, SrfEntryBits};
 
+use simt_trace::{EventSink, RfKind, TraceEvent};
+
 /// Configuration of one compressed register file.
 #[derive(Debug, Clone, Copy)]
 pub struct RfConfig {
@@ -441,6 +443,53 @@ impl CompressedRegFile {
         }
         info
     }
+
+    /// True when the register is currently uncompressed (VRF-resident or
+    /// spilled), false when it lives compactly in the SRF.
+    fn is_vector_class(&self, idx: usize) -> bool {
+        matches!(self.entries[idx], Entry::Vector { .. } | Entry::Spilled(_))
+    }
+
+    /// Which kind of register file this is, for trace attribution (33-bit
+    /// elements mark the capability-metadata file).
+    fn rf_kind(&self) -> RfKind {
+        if self.cfg.elem_bits >= 33 {
+            RfKind::Meta
+        } else {
+            RfKind::Data
+        }
+    }
+
+    /// [`Self::write`] with structured tracing: emits one
+    /// [`TraceEvent::RfTransition`] whenever the written register changes
+    /// residency class — compact SRF entry to VRF vector or back. For the
+    /// metadata register file this is the event stream of the null-value
+    /// optimisation (NVO): each `to_vector == false` event is a vector the
+    /// compressor reclaimed.
+    pub fn write_traced(
+        &mut self,
+        warp: u32,
+        reg: u32,
+        values: &[u64],
+        mask: u64,
+        cycle: u64,
+        sink: &mut dyn EventSink,
+    ) -> WriteInfo {
+        let idx = self.idx(warp, reg);
+        let was_vector = self.is_vector_class(idx);
+        let info = self.write(warp, reg, values, mask);
+        let is_vector = self.is_vector_class(idx);
+        if was_vector != is_vector {
+            sink.emit(TraceEvent::RfTransition {
+                cycle,
+                warp,
+                rf: self.rf_kind(),
+                reg,
+                to_vector: is_vector,
+            });
+        }
+        info
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +633,41 @@ mod tests {
         // Null writes don't count.
         rf.write(1, 4, &vals(|_| NULL_META), u64::MAX);
         assert_eq!(rf.max_nonnull_regs(), 2);
+    }
+
+    #[test]
+    fn traced_writes_emit_residency_transitions() {
+        use simt_trace::VecSink;
+        let mut rf = CompressedRegFile::new(RfConfig::meta(1, 8, 4, true));
+        let mut sink = VecSink::new();
+        // Uniform write: stays scalar, no transition.
+        rf.write_traced(0, 5, &vals(|_| 0x111), u64::MAX, 10, &mut sink);
+        assert!(sink.events().is_empty());
+        // Divergent write: scalar → vector.
+        rf.write_traced(0, 5, &vals(|i| i as u64), u64::MAX, 20, &mut sink);
+        // Uniform overwrite: vector → scalar (NVO reclaim).
+        rf.write_traced(0, 5, &vals(|_| NULL_META), u64::MAX, 30, &mut sink);
+        let evs: Vec<_> = sink.events().to_vec();
+        assert_eq!(evs.len(), 2);
+        match (evs[0], evs[1]) {
+            (
+                TraceEvent::RfTransition {
+                    cycle: 20,
+                    warp: 0,
+                    rf: RfKind::Meta,
+                    reg: 5,
+                    to_vector: true,
+                },
+                TraceEvent::RfTransition {
+                    cycle: 30,
+                    warp: 0,
+                    rf: RfKind::Meta,
+                    reg: 5,
+                    to_vector: false,
+                },
+            ) => {}
+            other => panic!("unexpected events: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Trace exporters: JSON-lines and Chrome trace-event format.
+//!
+//! Both exporters are fully deterministic: the output is a pure function of
+//! the event streams passed in, so two runs of the same deterministic
+//! simulation produce byte-identical files regardless of how many worker
+//! threads collected the cells.
+//!
+//! The Chrome exporter emits the [trace-event format] consumed by Perfetto
+//! and `chrome://tracing`: one *process* per (cell, launch) pair and one
+//! *thread* track per warp, plus dedicated tracks for the scheduler, the
+//! DRAM channel and the tag cache, and a counter track for SFU occupancy.
+//! Timestamps are in cycles (the viewer displays them as microseconds; read
+//! "1 µs" as "1 cycle").
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{StallCause, TraceEvent, NO_WARP};
+use std::fmt::Write as _;
+
+/// One traced simulation cell: a labelled event stream (typically one
+/// benchmark run under one configuration).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCell<'a> {
+    /// Human-readable label, e.g. `"VecAdd [purecap]"`.
+    pub label: &'a str,
+    /// The cell's events in emission order.
+    pub events: &'a [TraceEvent],
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub(crate) fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_kv_str(out: &mut String, key: &str, val: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape(val, out);
+    out.push('"');
+}
+
+fn push_kv_num(out: &mut String, key: &str, val: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(out, "\"{key}\":{val}");
+}
+
+fn push_kv_bool(out: &mut String, key: &str, val: bool, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(out, "\"{key}\":{val}");
+}
+
+fn push_kv_hex(out: &mut String, key: &str, val: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(out, "\"{key}\":\"0x{val:x}\"");
+}
+
+/// Serialise one event as a JSON object (without trailing newline). Shared
+/// by the JSON-lines exporter and the `args` payload of the Chrome exporter.
+fn event_fields(ev: &TraceEvent, out: &mut String, first: &mut bool) {
+    match *ev {
+        TraceEvent::Launch { cycle, warps } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warps", warps as u64, first);
+        }
+        TraceEvent::Issue { cycle, warp, pc, mask, mnemonic } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_hex(out, "pc", pc as u64, first);
+            push_kv_hex(out, "mask", mask, first);
+            push_kv_str(out, "mnemonic", mnemonic, first);
+        }
+        TraceEvent::Stall { cycle, warp, cause, cycles } => {
+            push_kv_num(out, "cycle", cycle, first);
+            if warp != NO_WARP {
+                push_kv_num(out, "warp", warp as u64, first);
+            }
+            push_kv_str(out, "cause", cause.name(), first);
+            push_kv_num(out, "cycles", cycles, first);
+        }
+        TraceEvent::Mem {
+            cycle,
+            warp,
+            space,
+            is_store,
+            lanes,
+            transactions,
+            uniform,
+            conflict_cycles,
+        } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_str(out, "space", space.name(), first);
+            push_kv_bool(out, "is_store", is_store, first);
+            push_kv_num(out, "lanes", lanes as u64, first);
+            push_kv_num(out, "transactions", transactions as u64, first);
+            push_kv_bool(out, "uniform", uniform, first);
+            push_kv_num(out, "conflict_cycles", conflict_cycles as u64, first);
+        }
+        TraceEvent::TagCache { cycle, warp, hit, writeback } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_bool(out, "hit", hit, first);
+            push_kv_bool(out, "writeback", writeback, first);
+        }
+        TraceEvent::Dram { cycle, warp, reads, writes, tag_txns, done_at } => {
+            push_kv_num(out, "cycle", cycle, first);
+            if warp != NO_WARP {
+                push_kv_num(out, "warp", warp as u64, first);
+            }
+            push_kv_num(out, "reads", reads as u64, first);
+            push_kv_num(out, "writes", writes as u64, first);
+            push_kv_num(out, "tag_txns", tag_txns as u64, first);
+            push_kv_num(out, "done_at", done_at, first);
+        }
+        TraceEvent::Sfu { cycle, warp, lanes, latency } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_num(out, "lanes", lanes as u64, first);
+            push_kv_num(out, "latency", latency, first);
+        }
+        TraceEvent::RfTransition { cycle, warp, rf, reg, to_vector } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_str(out, "rf", rf.name(), first);
+            push_kv_num(out, "reg", reg as u64, first);
+            push_kv_bool(out, "to_vector", to_vector, first);
+        }
+        TraceEvent::Barrier { cycle, warp, release } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_bool(out, "release", release, first);
+        }
+    }
+}
+
+/// Export cells as JSON-lines: one JSON object per event, prefixed with the
+/// cell label and event type. Lines appear in cell order, then emission
+/// order — the canonical flat form of the trace.
+pub fn to_jsonl(cells: &[TraceCell]) -> String {
+    let mut out = String::new();
+    for cell in cells {
+        for ev in cell.events {
+            out.push('{');
+            let mut first = true;
+            push_kv_str(&mut out, "cell", cell.label, &mut first);
+            push_kv_str(&mut out, "type", ev.kind(), &mut first);
+            event_fields(ev, &mut out, &mut first);
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// Reserved Chrome-trace thread ids for non-warp tracks.
+const TID_SCHED: u32 = 1000;
+/// Tag-cache lookups track.
+const TID_TAG: u32 = 1001;
+/// DRAM channel track.
+const TID_DRAM: u32 = 1002;
+
+#[allow(clippy::too_many_arguments)]
+fn chrome_event(
+    out: &mut String,
+    ph: char,
+    name: &str,
+    pid: u32,
+    tid: u32,
+    ts: u64,
+    dur: Option<u64>,
+    ev: Option<&TraceEvent>,
+) {
+    out.push_str("{\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"name\":\"");
+    escape(name, out);
+    let _ = write!(out, "\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}");
+    if let Some(d) = dur {
+        let _ = write!(out, ",\"dur\":{d}");
+    }
+    if ph == 'i' {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":{");
+    if let Some(ev) = ev {
+        let mut first = true;
+        push_kv_str(out, "type", ev.kind(), &mut first);
+        event_fields(ev, out, &mut first);
+    }
+    out.push_str("}},\n");
+}
+
+fn chrome_meta(out: &mut String, kind: &str, pid: u32, tid: Option<u32>, name: &str) {
+    out.push_str("{\"ph\":\"M\",\"name\":\"");
+    out.push_str(kind);
+    let _ = write!(out, "\",\"pid\":{pid}");
+    if let Some(t) = tid {
+        let _ = write!(out, ",\"tid\":{t}");
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    escape(name, out);
+    out.push_str("\"}},\n");
+}
+
+/// Export cells in Chrome trace-event format (a JSON object with a
+/// `traceEvents` array), viewable in Perfetto or `chrome://tracing`.
+///
+/// Layout: each (cell, launch) pair becomes one process; within it, each
+/// warp gets a thread track carrying issue slices, stall slices and
+/// memory/regfile/barrier instants; the scheduler (idle stalls), the tag
+/// cache and the DRAM channel get dedicated tracks; SFU occupancy is a
+/// counter track (`sfu_lanes`).
+pub fn to_chrome(cells: &[TraceCell]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut pid = 0u32;
+    for cell in cells {
+        // Split the stream into launches at Launch markers; events before
+        // the first marker (none, in practice) belong to an implicit first
+        // launch.
+        let mut launches: Vec<&[TraceEvent]> = Vec::new();
+        let mut start = 0usize;
+        for (i, ev) in cell.events.iter().enumerate() {
+            if matches!(ev, TraceEvent::Launch { .. }) && i > start {
+                launches.push(&cell.events[start..i]);
+                start = i;
+            }
+        }
+        launches.push(&cell.events[start..]);
+        let launches: Vec<&[TraceEvent]> = launches.into_iter().filter(|l| !l.is_empty()).collect();
+
+        for (launch_idx, events) in launches.iter().enumerate() {
+            let mut body = String::new();
+            let mut warps_seen: Vec<u32> = Vec::new();
+            let mut used_sched = false;
+            let mut used_tag = false;
+            let mut used_dram = false;
+            // SFU occupancy deltas: (cycle, +lanes) and (cycle, -lanes).
+            let mut sfu_deltas: Vec<(u64, i64)> = Vec::new();
+            for ev in *events {
+                if let Some(w) = ev.warp() {
+                    if !warps_seen.contains(&w) {
+                        warps_seen.push(w);
+                    }
+                }
+                match *ev {
+                    TraceEvent::Launch { .. } => {}
+                    TraceEvent::Issue { cycle, warp, mnemonic, .. } => {
+                        chrome_event(&mut body, 'X', mnemonic, pid, warp, cycle, Some(1), Some(ev));
+                    }
+                    TraceEvent::Stall { cycle, warp, cause, cycles } => {
+                        let tid = if warp == NO_WARP {
+                            used_sched = true;
+                            TID_SCHED
+                        } else {
+                            warp
+                        };
+                        let name = match cause {
+                            StallCause::Idle => "idle",
+                            c => c.name(),
+                        };
+                        chrome_event(
+                            &mut body,
+                            'X',
+                            name,
+                            pid,
+                            tid,
+                            cycle,
+                            Some(cycles.max(1)),
+                            Some(ev),
+                        );
+                    }
+                    TraceEvent::Mem { cycle, warp, space, .. } => {
+                        chrome_event(
+                            &mut body,
+                            'i',
+                            space.name(),
+                            pid,
+                            warp,
+                            cycle,
+                            None,
+                            Some(ev),
+                        );
+                    }
+                    TraceEvent::TagCache { cycle, hit, .. } => {
+                        used_tag = true;
+                        let name = if hit { "tag hit" } else { "tag miss" };
+                        chrome_event(&mut body, 'i', name, pid, TID_TAG, cycle, None, Some(ev));
+                    }
+                    TraceEvent::Dram { cycle, .. } => {
+                        used_dram = true;
+                        chrome_event(&mut body, 'i', "dram", pid, TID_DRAM, cycle, None, Some(ev));
+                    }
+                    TraceEvent::Sfu { cycle, warp, lanes, latency } => {
+                        chrome_event(
+                            &mut body,
+                            'X',
+                            "sfu",
+                            pid,
+                            warp,
+                            cycle,
+                            Some(latency.max(1)),
+                            Some(ev),
+                        );
+                        sfu_deltas.push((cycle, lanes as i64));
+                        sfu_deltas.push((cycle + latency, -(lanes as i64)));
+                    }
+                    TraceEvent::RfTransition { cycle, warp, to_vector, .. } => {
+                        let name = if to_vector { "srf→vrf" } else { "vrf→srf" };
+                        chrome_event(&mut body, 'i', name, pid, warp, cycle, None, Some(ev));
+                    }
+                    TraceEvent::Barrier { cycle, warp, release } => {
+                        let name = if release { "barrier release" } else { "barrier" };
+                        chrome_event(&mut body, 'i', name, pid, warp, cycle, None, Some(ev));
+                    }
+                }
+            }
+            // SFU occupancy counter track.
+            sfu_deltas.sort(); // by cycle, then delta (releases before acquires on ties is fine: both orders are deterministic)
+            let mut level = 0i64;
+            let mut i = 0;
+            while i < sfu_deltas.len() {
+                let cycle = sfu_deltas[i].0;
+                while i < sfu_deltas.len() && sfu_deltas[i].0 == cycle {
+                    level += sfu_deltas[i].1;
+                    i += 1;
+                }
+                let _ = writeln!(
+                    body,
+                    "{{\"ph\":\"C\",\"name\":\"sfu_lanes\",\"pid\":{pid},\"tid\":0,\"ts\":{cycle},\
+                     \"args\":{{\"lanes\":{level}}}}},"
+                );
+            }
+
+            // Metadata: process + thread names, emitted before the body.
+            let pname = format!("{} · launch {}", cell.label, launch_idx);
+            chrome_meta(&mut out, "process_name", pid, None, &pname);
+            warps_seen.sort_unstable();
+            for w in &warps_seen {
+                chrome_meta(&mut out, "thread_name", pid, Some(*w), &format!("warp {w}"));
+            }
+            if used_sched {
+                chrome_meta(&mut out, "thread_name", pid, Some(TID_SCHED), "scheduler");
+            }
+            if used_tag {
+                chrome_meta(&mut out, "thread_name", pid, Some(TID_TAG), "tag cache");
+            }
+            if used_dram {
+                chrome_meta(&mut out, "thread_name", pid, Some(TID_DRAM), "dram");
+            }
+            out.push_str(&body);
+            pid += 1;
+        }
+    }
+    // Terminate the array without a trailing comma: a harmless sentinel
+    // metadata event keeps the emitter single-pass.
+    out.push_str(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":4294967295,\"args\":{\"name\":\"end\"}}\n",
+    );
+    out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"repro trace\",\"clock\":\"cycles\"}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemSpace, RfKind};
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Launch { cycle: 0, warps: 2 },
+            TraceEvent::Issue { cycle: 1, warp: 0, pc: 0x8000_0000, mask: 0xFF, mnemonic: "lw" },
+            TraceEvent::Mem {
+                cycle: 1,
+                warp: 0,
+                space: MemSpace::Dram,
+                is_store: false,
+                lanes: 8,
+                transactions: 1,
+                uniform: false,
+                conflict_cycles: 0,
+            },
+            TraceEvent::TagCache { cycle: 1, warp: 0, hit: true, writeback: false },
+            TraceEvent::Dram { cycle: 1, warp: 0, reads: 1, writes: 0, tag_txns: 0, done_at: 41 },
+            TraceEvent::Stall { cycle: 2, warp: NO_WARP, cause: StallCause::Idle, cycles: 39 },
+            TraceEvent::Sfu { cycle: 41, warp: 1, lanes: 8, latency: 12 },
+            TraceEvent::RfTransition {
+                cycle: 41,
+                warp: 1,
+                rf: RfKind::Data,
+                reg: 10,
+                to_vector: true,
+            },
+            TraceEvent::Barrier { cycle: 42, warp: 1, release: false },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let events = sample();
+        let cells = [TraceCell { label: "Test [purecap]", events: &events }];
+        let out = to_jsonl(&cells);
+        assert_eq!(out.lines().count(), events.len());
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(out.contains("\"type\":\"issue\""));
+        assert!(out.contains("\"pc\":\"0x80000000\""));
+        assert!(out.contains("\"cause\":\"idle\""));
+    }
+
+    #[test]
+    fn chrome_is_valid_and_has_tracks() {
+        let events = sample();
+        let cells = [TraceCell { label: "Test", events: &events }];
+        let out = to_chrome(&cells);
+        crate::validate::validate_chrome(&out).expect("chrome export validates");
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("warp 0"));
+        assert!(out.contains("sfu_lanes"));
+        assert!(out.contains("tag cache"));
+    }
+
+    #[test]
+    fn multi_launch_splits_processes() {
+        let mut events = sample();
+        events.push(TraceEvent::Launch { cycle: 0, warps: 2 });
+        events.push(TraceEvent::Issue {
+            cycle: 1,
+            warp: 0,
+            pc: 0x8000_0004,
+            mask: 1,
+            mnemonic: "add",
+        });
+        let cells = [TraceCell { label: "Two", events: &events }];
+        let out = to_chrome(&cells);
+        assert!(out.contains("Two · launch 0"));
+        assert!(out.contains("Two · launch 1"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let events = sample();
+        let cells = [TraceCell { label: "Det", events: &events }];
+        assert_eq!(to_chrome(&cells), to_chrome(&cells));
+        assert_eq!(to_jsonl(&cells), to_jsonl(&cells));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

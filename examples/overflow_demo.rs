@@ -6,6 +6,7 @@
 //! cargo run --release --example overflow_demo
 //! ```
 
+use cheri_simt::trace::{RingSink, TraceEvent};
 use cheri_simt::{CheriMode, CheriOpts, RunError, SmConfig, TrapCause};
 use nocl::{Gpu, Launch, LaunchError};
 use nocl_kir::{Elem, Expr, Kernel, KernelBuilder, Mode};
@@ -47,14 +48,20 @@ fn main() {
     let data = gpu.alloc_from(&[0xDA1A]);
     let out = gpu.alloc_from(&[0i32]);
     plant_secret(&mut gpu, data.addr());
-    gpu.sm_mut().enable_trace(4); // keep the last few instructions
+    // Keep the last few events in a bounded ring: on a trap, the tail of
+    // the issue stream shows how the kernel got there.
+    gpu.sm_mut().set_sink(Box::new(RingSink::new(16)));
     match gpu.launch(&overread_kernel(), Launch::new(1, 8), &[(&data).into(), (&out).into()]) {
         Err(LaunchError::Run(RunError::Trap(t))) => {
             assert!(matches!(t.cause, TrapCause::Cheri(_)));
             println!("CHERI GPU:      {t}");
             println!("                instruction trace leading to the trap:");
-            for e in gpu.sm().trace() {
-                println!("                  {e}");
+            let sink = gpu.sm_mut().take_sink().expect("sink was attached");
+            let ring = sink.as_any().downcast_ref::<RingSink>().expect("RingSink");
+            for e in ring.events() {
+                if let TraceEvent::Issue { cycle, warp, pc, mnemonic, .. } = e {
+                    println!("                  [{cycle:>8}] w{warp:02} {pc:08x}: {mnemonic}");
+                }
             }
         }
         other => panic!("expected a CHERI trap, got {other:?}"),
