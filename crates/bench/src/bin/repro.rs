@@ -1,9 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! usage: repro [--quick] [--jobs N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
+//! usage: repro [--quick] [--jobs N] [--sms N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
 //!        repro disasm <benchmark> <mode>
-//!        repro trace <benchmark|all> [--mode M] [--format chrome|jsonl] [--trace-out FILE] [--paper]
+//!        repro trace <benchmark|all> [--mode M] [--format chrome|jsonl] [--trace-out FILE] [--paper] [--sms N]
 //!        repro validate-trace <file>
 //! ```
 //!
@@ -16,6 +16,11 @@
 //! available parallelism. Output is bit-identical for every worker count —
 //! `--jobs 1` runs the same engine serially.
 //!
+//! `--sms N` simulates a device of N streaming multiprocessors sharing one
+//! DRAM channel and tag controller (default 1, which is bit-identical to
+//! the classic single-SM model). In `trace` mode each SM becomes its own
+//! Perfetto process.
+//!
 //! `trace` runs benchmarks with the structured event sink attached and
 //! exports the stream (`--trace-out FILE`, or stdout). Unlike the
 //! experiments it defaults to the *quick* geometry — a paper-scale trace is
@@ -27,15 +32,17 @@
 
 use repro::{
     ablate, default_jobs, disasm, export_runs, fig10, fig11, fig12, fig13, fig14, fig15, fig6,
-    fig7, multism, resolve_benches, table1, table2, table3, tagsweep, trace_config, trace_suite,
+    fig7, multism, resolve_benches, table1, table2, table3, tagsweep, trace_config, trace_suite_on,
     trace_summary, vrfsweep, Geometry, Harness, TraceFormat,
 };
 
+#[allow(clippy::too_many_lines)] // flag parsing + subcommand dispatch
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut paper = false;
     let mut jobs = default_jobs();
+    let mut sms = 1u32;
     let mut mode_name = String::from("purecap");
     let mut format_name = String::from("chrome");
     let mut trace_out: Option<String> = None;
@@ -60,6 +67,14 @@ fn main() {
                 Ok(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = take("--sms") {
+            match v.parse::<u32>() {
+                Ok(n) if n >= 1 => sms = n,
+                _ => {
+                    eprintln!("--sms needs a positive integer");
                     std::process::exit(2);
                 }
             }
@@ -120,10 +135,10 @@ fn main() {
             let benches = resolve_benches(bench)?;
             let geometry = if paper { Geometry::Full } else { Geometry::Small };
             eprintln!(
-                "[repro] tracing {} cell(s) [{mode_name}] on {jobs} worker(s) ...",
+                "[repro] tracing {} cell(s) [{mode_name}] on {jobs} worker(s), {sms} SM(s) ...",
                 benches.len()
             );
-            let runs = trace_suite(&benches, config, geometry, jobs)?;
+            let runs = trace_suite_on(&benches, config, geometry, jobs, sms)?;
             eprint!("{}", trace_summary(&runs));
             let out = export_runs(&runs, format);
             match &trace_out {
@@ -169,7 +184,10 @@ fn main() {
         return;
     }
 
-    let mut h = if quick { Harness::quick() } else { Harness::paper() }.verbose().with_jobs(jobs);
+    let mut h = if quick { Harness::quick() } else { Harness::paper() }
+        .verbose()
+        .with_jobs(jobs)
+        .with_sms(sms);
 
     for w in what {
         let out = match w {

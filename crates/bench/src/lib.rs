@@ -13,10 +13,10 @@ mod runner;
 mod trace;
 
 pub use experiments::*;
-pub use runner::{default_jobs, run_indexed, run_suite_parallel, CellError};
+pub use runner::{default_jobs, run_indexed, run_suite_parallel, run_suite_parallel_on, CellError};
 pub use trace::{
-    export_runs, reconcile, resolve_benches, trace_config, trace_suite, trace_summary, TraceFormat,
-    TracedRun,
+    export_runs, reconcile, resolve_benches, trace_config, trace_suite, trace_suite_on,
+    trace_summary, TraceFormat, TracedRun,
 };
 
 use cheri_simt::{CheriMode, CheriOpts, KernelStats, SmConfig};
@@ -97,6 +97,8 @@ pub struct Harness {
     verbose: bool,
     /// Worker threads for the parallel suite runner.
     jobs: usize,
+    /// Streaming multiprocessors per simulated device.
+    sms: u32,
 }
 
 impl Harness {
@@ -108,6 +110,7 @@ impl Harness {
             cache: BTreeMap::new(),
             verbose: false,
             jobs: default_jobs(),
+            sms: 1,
         }
     }
 
@@ -119,6 +122,7 @@ impl Harness {
             cache: BTreeMap::new(),
             verbose: false,
             jobs: default_jobs(),
+            sms: 1,
         }
     }
 
@@ -140,6 +144,21 @@ impl Harness {
         self.jobs
     }
 
+    /// Simulate devices of `sms` streaming multiprocessors instead of the
+    /// default single SM (`sms = 1` is bit-identical to the classic model).
+    /// Clears any cached results.
+    pub fn with_sms(mut self, sms: u32) -> Self {
+        assert!(sms >= 1, "a device needs at least one SM");
+        self.sms = sms;
+        self.cache.clear();
+        self
+    }
+
+    /// Streaming multiprocessors per simulated device.
+    pub fn sms(&self) -> u32 {
+        self.sms
+    }
+
     /// The geometry in use.
     pub fn geometry(&self) -> Geometry {
         self.geometry
@@ -159,7 +178,7 @@ impl Harness {
                 eprintln!("[repro] simulating {config:?} on {} worker(s) ...", self.jobs);
             }
             let (cfg, mode) = config.instantiate(self.geometry);
-            let results = run_suite_parallel(self.jobs, cfg, mode, self.scale)
+            let results = run_suite_parallel_on(self.jobs, cfg, mode, self.scale, self.sms)
                 .unwrap_or_else(|e| panic!("suite failed under {config:?}: {e}"));
             self.cache.insert(config, results);
         }

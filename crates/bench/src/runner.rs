@@ -137,9 +137,25 @@ pub fn run_suite_parallel(
     mode: Mode,
     scale: Scale,
 ) -> Result<SuiteResults, CellError> {
+    run_suite_parallel_on(jobs, cfg, mode, scale, 1)
+}
+
+/// [`run_suite_parallel`] on a device of `sms` streaming multiprocessors
+/// (`sms = 1` is the classic single-SM model and is bit-identical to it).
+///
+/// # Errors
+///
+/// Fails if any benchmark fails its launch or self-check, or panics.
+pub fn run_suite_parallel_on(
+    jobs: usize,
+    cfg: SmConfig,
+    mode: Mode,
+    scale: Scale,
+    sms: u32,
+) -> Result<SuiteResults, CellError> {
     let cells = suite_jobs();
     let results = run_indexed(jobs, cells.len(), |i| {
-        let mut gpu = Gpu::new(cfg, mode);
+        let mut gpu = Gpu::with_sms(cfg, mode, sms);
         cells[i].bench.run(&mut gpu, scale).map_err(|e| e.to_string())
     });
     let mut out = SuiteResults::with_capacity(cells.len());

@@ -111,27 +111,73 @@ pub fn trace_suite(
     geometry: Geometry,
     jobs: usize,
 ) -> Result<Vec<TracedRun>, String> {
+    trace_suite_on(benches, config, geometry, jobs, 1)
+}
+
+/// [`trace_suite`] on a device of `sms` streaming multiprocessors. Each SM
+/// gets its own [`VecSink`], and each SM becomes its own exported cell
+/// (labelled `"<bench> [<mode>] · sm<k>"` — one Perfetto process per SM),
+/// so cross-SM interleaving is visible on separate tracks. The
+/// *concatenation* of the per-SM streams is reconciled against the
+/// combined device statistics (per-SM statistics cannot reconcile alone:
+/// the DRAM and tag-cache counters live in the shared subsystem), and each
+/// per-SM cell carries those combined statistics. With `sms == 1` this is
+/// exactly [`trace_suite`], byte-identical labels included.
+///
+/// # Errors
+///
+/// Fails if a benchmark fails its self-check or the combined event stream
+/// disagrees with the device counters (first failing cell in suite order).
+pub fn trace_suite_on(
+    benches: &[&'static dyn NoclBench],
+    config: Config,
+    geometry: Geometry,
+    jobs: usize,
+    sms: u32,
+) -> Result<Vec<TracedRun>, String> {
     let (cfg, mode) = config.instantiate(geometry);
     let scale = match geometry {
         Geometry::Full => Scale::Paper,
         Geometry::Small => Scale::Test,
     };
     let tag = mode_tag(config);
-    let results = run_indexed(jobs, benches.len(), |i| -> Result<TracedRun, String> {
+    let results = run_indexed(jobs, benches.len(), |i| -> Result<Vec<TracedRun>, String> {
         let b = benches[i];
-        let mut gpu = Gpu::new(cfg, mode);
-        gpu.sm_mut().set_sink(Box::new(VecSink::new()));
+        let mut gpu = Gpu::with_sms(cfg, mode, sms);
+        for k in 0..sms as usize {
+            gpu.device_mut().sm_mut(k).set_sink(Box::new(VecSink::new()));
+        }
         let stats = b.run(&mut gpu, scale).map_err(|e| e.to_string())?;
-        let sink = gpu.sm_mut().take_sink().expect("sink survives the run");
-        let events =
-            sink.as_any().downcast_ref::<VecSink>().expect("attached a VecSink").events().to_vec();
-        reconcile(&events, &stats).map_err(|e| format!("trace/stats mismatch: {e}"))?;
-        Ok(TracedRun { label: format!("{} [{tag}]", b.name()), events, stats })
+        let per_sm: Vec<Vec<TraceEvent>> = (0..sms as usize)
+            .map(|k| {
+                let sink = gpu.device_mut().sm_mut(k).take_sink().expect("sink survives the run");
+                sink.as_any()
+                    .downcast_ref::<VecSink>()
+                    .expect("attached a VecSink")
+                    .events()
+                    .to_vec()
+            })
+            .collect();
+        let all: Vec<TraceEvent> = per_sm.iter().flatten().copied().collect();
+        reconcile(&all, &stats).map_err(|e| format!("trace/stats mismatch: {e}"))?;
+        if sms == 1 {
+            let events = per_sm.into_iter().next().expect("one SM");
+            return Ok(vec![TracedRun { label: format!("{} [{tag}]", b.name()), events, stats }]);
+        }
+        Ok(per_sm
+            .into_iter()
+            .enumerate()
+            .map(|(k, events)| TracedRun {
+                label: format!("{} [{tag}] · sm{k}", b.name()),
+                events,
+                stats: stats.clone(),
+            })
+            .collect())
     });
-    let mut out = Vec::with_capacity(benches.len());
+    let mut out = Vec::with_capacity(benches.len() * sms as usize);
     for (b, r) in benches.iter().zip(results) {
         match r {
-            Ok(Ok(cell)) => out.push(cell),
+            Ok(Ok(cells)) => out.extend(cells),
             Ok(Err(e)) | Err(e) => return Err(format!("{}: {e}", b.name())),
         }
     }

@@ -50,7 +50,9 @@
 
 mod config;
 mod counters;
+mod device;
 pub mod exec;
+mod pipeline;
 pub mod shield;
 mod sm;
 mod trap;
@@ -58,10 +60,11 @@ pub mod warp;
 
 pub use config::{CheriMode, CheriOpts, SmConfig, Timing};
 pub use counters::{KernelStats, StallBreakdown};
+pub use device::Device;
 /// Structured tracing: re-exported so consumers can name sinks and events
 /// without depending on `simt-trace` directly.
 pub use simt_trace as trace;
-pub use sm::{Sm, TraceEntry};
+pub use sm::Sm;
 pub use trap::{RunError, Trap, TrapCause};
 
 // Send audit: the parallel suite runner simulates one whole SM per worker
@@ -72,6 +75,7 @@ pub use trap::{RunError, Trap, TrapCause};
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Sm>();
+    assert_send::<Device>();
     assert_send::<SmConfig>();
     assert_send::<KernelStats>();
     assert_send::<RunError>();

@@ -1,0 +1,347 @@
+//! Memory stage: coalescer → tag controller → DRAM, and the scratchpad.
+//!
+//! Owns the functional load/store/AMO paths, the per-lane effective-address
+//! computation with CHERI/bounds-table checks, the compressed stack cache
+//! filter (`stack_cache_hits`), coalescing, tag-cache lookups, DRAM and
+//! scratchpad timing, and the atomic-conflict serialisation model.
+
+use super::Costs;
+use crate::exec;
+use crate::sm::Sm;
+use crate::trap::{RunError, TrapCause};
+use crate::warp::Selection;
+use cheri_cap::{AccessWidth, CapMem};
+use simt_isa::{LoadWidth, Reg};
+use simt_mem::{map, LaneRequest, MemFault};
+use simt_regfile::{MAX_LANES, NULL_META};
+use simt_trace::{MemSpace, TraceEvent};
+
+impl Sm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn do_load_store(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        addr_reg: Reg,
+        load_rd: Option<Reg>,
+        store_rs: Reg,
+        off: i32,
+        bytes: u32,
+        is_store: bool,
+        is_cap: bool,
+        lw: LoadWidth,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let cheri = self.cheri();
+        let mut addr = [0u64; MAX_LANES];
+        let mut addr_m = [NULL_META; MAX_LANES];
+        let mut val = [0u64; MAX_LANES];
+        let mut val_m = [NULL_META; MAX_LANES];
+        if cheri {
+            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
+        } else {
+            self.read_data(w, addr_reg, &mut addr, costs);
+        }
+        if is_store {
+            if is_cap && cheri {
+                self.read_cap_operand(w, store_rs, &mut val, &mut val_m, costs);
+            } else {
+                self.read_data(w, store_rs, &mut val, costs);
+            }
+        }
+
+        // Per-lane effective addresses + CHERI checks.
+        let mut eas = [0u32; MAX_LANES];
+        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
+            let ea = (addr[i] as u32).wrapping_add(off as u32);
+            eas[i] = ea;
+            if cheri {
+                let cap = Self::cap_of(addr_m[i], addr[i]);
+                if let Err(e) =
+                    cap.check_access(ea, AccessWidth::from_bytes(bytes), is_store, is_cap)
+                {
+                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
+                }
+            } else {
+                if let Some(t) = &self.bounds_table {
+                    match t.translate(ea, bytes) {
+                        Ok(real) => eas[i] = real,
+                        Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
+                    }
+                }
+                if eas[i] % bytes != 0 {
+                    return Err(self
+                        .trap(w, sel, i as u32, TrapCause::Mem(MemFault::Misaligned(eas[i])))
+                        .into());
+                }
+            }
+        }
+
+        // Functional access + request collection.
+        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
+        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
+        let mut results = [0u64; MAX_LANES];
+        let mut results_m = [NULL_META; MAX_LANES];
+        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
+            let ea = eas[i];
+            let region = map::route(ea, self.cfg.dram_size);
+            let req = LaneRequest { addr: ea, bytes };
+            let res: Result<(), MemFault> = (|| {
+                match (region, is_store, is_cap) {
+                    (map::Region::Dram, false, false) => {
+                        dram_reqs.push(req);
+                        results[i] = sign_extend(self.mem.read(ea, bytes)?, lw) as u64;
+                    }
+                    (map::Region::Dram, true, false) => {
+                        dram_reqs.push(req);
+                        self.mem.write(ea, val[i] as u32, bytes)?;
+                    }
+                    (map::Region::Dram, false, true) => {
+                        dram_reqs.push(req);
+                        let c = self.mem.read_cap(ea)?;
+                        results[i] = c.addr() as u64;
+                        results_m[i] = c.meta() as u64 | ((c.tag() as u64) << 32);
+                    }
+                    (map::Region::Dram, true, true) => {
+                        dram_reqs.push(req);
+                        let c = CapMem::from_parts(
+                            val_m[i] as u32,
+                            val[i] as u32,
+                            val_m[i] >> 32 & 1 == 1,
+                        );
+                        self.mem.write_cap(ea, c)?;
+                    }
+                    (map::Region::Scratch, false, false) => {
+                        scratch_reqs.push(req);
+                        results[i] = sign_extend(self.scratch.read(ea, bytes)?, lw) as u64;
+                    }
+                    (map::Region::Scratch, true, false) => {
+                        scratch_reqs.push(req);
+                        self.scratch.write(ea, val[i] as u32, bytes)?;
+                    }
+                    (map::Region::Scratch, false, true) => {
+                        scratch_reqs.push(req);
+                        let c = self.scratch.read_cap(ea)?;
+                        results[i] = c.addr() as u64;
+                        results_m[i] = c.meta() as u64 | ((c.tag() as u64) << 32);
+                    }
+                    (map::Region::Scratch, true, true) => {
+                        scratch_reqs.push(req);
+                        let c = CapMem::from_parts(
+                            val_m[i] as u32,
+                            val[i] as u32,
+                            val_m[i] >> 32 & 1 == 1,
+                        );
+                        self.scratch.write_cap(ea, c)?;
+                    }
+                    _ => return Err(MemFault::Unmapped(ea)),
+                }
+                Ok(())
+            })();
+            if let Err(f) = res {
+                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
+            }
+        }
+
+        // Timing.
+        self.charge_memory(w, &dram_reqs, &scratch_reqs, is_store);
+
+        // Writeback.
+        if let Some(rd) = load_rd {
+            self.write_data(w, rd, &results, mask, costs);
+            if cheri {
+                if is_cap {
+                    self.write_meta(w, rd, &results_m, mask, costs);
+                } else {
+                    self.write_meta_null(w, rd, mask, costs);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn do_amo(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        addr_reg: Reg,
+        rd: Reg,
+        op: simt_isa::AmoOp,
+        operands: &[u64; MAX_LANES],
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let cheri = self.cheri();
+        let mut addr = [0u64; MAX_LANES];
+        let mut addr_m = [NULL_META; MAX_LANES];
+        if cheri {
+            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
+        } else {
+            self.read_data(w, addr_reg, &mut addr, costs);
+        }
+        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
+        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
+        let mut results = [0u64; MAX_LANES];
+        // Lanes perform their RMW in lane order, which defines the intra-warp
+        // atomicity order.
+        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
+            let mut ea = addr[i] as u32;
+            if cheri {
+                let cap = Self::cap_of(addr_m[i], addr[i]);
+                // An AMO both loads and stores.
+                if let Err(e) = cap
+                    .check_access(ea, AccessWidth::Word, false, false)
+                    .and_then(|_| cap.check_access(ea, AccessWidth::Word, true, false))
+                {
+                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
+                }
+            } else if let Some(t) = &self.bounds_table {
+                match t.translate(ea, 4) {
+                    Ok(real) => ea = real,
+                    Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
+                }
+            }
+            let req = LaneRequest { addr: ea, bytes: 4 };
+            let region = map::route(ea, self.cfg.dram_size);
+            let res: Result<(), MemFault> = (|| {
+                match region {
+                    map::Region::Dram => {
+                        dram_reqs.push(req);
+                        let old = self.mem.read(ea, 4)?;
+                        self.mem.write(ea, exec::amo(op, old, operands[i] as u32), 4)?;
+                        results[i] = old as u64;
+                    }
+                    map::Region::Scratch => {
+                        scratch_reqs.push(req);
+                        let old = self.scratch.read(ea, 4)?;
+                        self.scratch.write(ea, exec::amo(op, old, operands[i] as u32), 4)?;
+                        results[i] = old as u64;
+                    }
+                    _ => return Err(MemFault::Unmapped(ea)),
+                }
+                Ok(())
+            })();
+            if let Err(f) = res {
+                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
+            }
+        }
+        // An atomic is a read + write transaction per block.
+        self.charge_memory(w, &dram_reqs, &scratch_reqs, true);
+        if !dram_reqs.is_empty() || !scratch_reqs.is_empty() {
+            // Serialise conflicting atomics: lanes hitting the same word pay
+            // one cycle each (approximating SIMTight's atomic unit).
+            let mut addrs: Vec<u32> =
+                dram_reqs.iter().chain(&scratch_reqs).map(|r| r.addr).collect();
+            let total = addrs.len();
+            addrs.sort_unstable();
+            addrs.dedup();
+            let conflicts = (total - addrs.len()) as u64;
+            self.warps[w as usize].ready_at =
+                self.warps[w as usize].ready_at.max(self.cycle + conflicts);
+        }
+        self.write_data(w, rd, &results, mask, costs);
+        if cheri {
+            self.write_meta_null(w, rd, mask, costs);
+        }
+        Ok(())
+    }
+
+    /// Charge the timing/traffic of one warp-wide memory access and suspend
+    /// the warp until the data returns.
+    pub(crate) fn charge_memory(
+        &mut self,
+        w: u32,
+        dram_reqs: &[LaneRequest],
+        scratch_reqs: &[LaneRequest],
+        is_store: bool,
+    ) {
+        let mut done_at = self.cycle;
+        // Compressed stack cache (Section 4.4 proof of concept): a
+        // warp-uniform or affine access pattern — the shape of register
+        // spill traffic — is served from a small compressed cache instead
+        // of DRAM.
+        let in_stack = |r: &LaneRequest| {
+            self.stack_region.map(|(b, sz)| r.addr >= b && r.addr < b + sz).unwrap_or(false)
+        };
+        let dram_reqs: &[LaneRequest] = if self.cfg.stack_cache
+            && dram_reqs.len() > 1
+            && dram_reqs.iter().all(in_stack)
+            && is_affine(dram_reqs)
+        {
+            self.stats.stack_cache_hits += 1;
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.emit(TraceEvent::Mem {
+                    cycle: self.cycle,
+                    warp: w,
+                    space: MemSpace::StackCache,
+                    is_store,
+                    lanes: dram_reqs.len() as u32,
+                    transactions: 0,
+                    uniform: dram_reqs.iter().all(|r| r.addr == dram_reqs[0].addr),
+                    conflict_cycles: 0,
+                });
+            }
+            done_at = done_at.max(self.cycle + 2);
+            &[]
+        } else {
+            dram_reqs
+        };
+        if !dram_reqs.is_empty() {
+            let co = match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    self.coalescer.coalesce_traced(dram_reqs, self.cycle, w, is_store, sink)
+                }
+                None => self.coalescer.coalesce(dram_reqs),
+            };
+            // Tag controller: one lookup per unique 64-byte block.
+            let mut blocks: Vec<u32> = dram_reqs.iter().map(|r| r.addr / 64).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            let mut tag_txns = 0;
+            for b in &blocks {
+                tag_txns += match self.sink.as_deref_mut() {
+                    Some(sink) => self.tags.on_access_traced(b * 64, is_store, self.cycle, w, sink),
+                    None => self.tags.on_access(b * 64, is_store),
+                };
+            }
+            let (reads, writes) =
+                if is_store { (0, co.transactions) } else { (co.transactions, 0) };
+            done_at = done_at.max(match self.sink.as_deref_mut() {
+                Some(sink) => self.dram.access_traced(self.cycle, reads, writes, tag_txns, w, sink),
+                None => self.dram.access(self.cycle, reads, writes, tag_txns),
+            });
+        }
+        if !scratch_reqs.is_empty() {
+            let cycles = match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    self.scratch.warp_cycles_traced(scratch_reqs, self.cycle, w, is_store, sink)
+                }
+                None => self.scratch.warp_cycles(scratch_reqs),
+            };
+            done_at = done_at.max(self.cycle + (self.cfg.timing.scratch_latency + cycles) as u64);
+        }
+        let warp = &mut self.warps[w as usize];
+        warp.ready_at = warp.ready_at.max(done_at);
+    }
+}
+
+/// Do the lane addresses form a uniform or affine sequence?
+pub(crate) fn is_affine(reqs: &[LaneRequest]) -> bool {
+    if reqs.len() < 2 {
+        return true;
+    }
+    let stride = reqs[1].addr.wrapping_sub(reqs[0].addr);
+    reqs.windows(2).all(|w| w[1].addr.wrapping_sub(w[0].addr) == stride)
+}
+
+pub(crate) fn sign_extend(v: u32, lw: LoadWidth) -> u32 {
+    match lw {
+        LoadWidth::B => v as u8 as i8 as i32 as u32,
+        LoadWidth::H => v as u16 as i16 as i32 as u32,
+        _ => v,
+    }
+}

@@ -1,0 +1,64 @@
+//! The SM pipeline, split by stage (Figure 2).
+//!
+//! Each submodule contributes one `impl Sm` block and owns the statistics
+//! counters and trace events of its stage:
+//!
+//! * [`schedule`] — barrel scheduler: round-robin warp pick, active-thread
+//!   selection, barrier release, idle accounting, deadlock detection.
+//! * [`operands`] — operand collection: data/metadata register-file reads,
+//!   the shared-VRF serialisation penalty, capability marshalling.
+//! * [`execute`] — fetch check + the lane ALUs: CHERI checks, capability
+//!   arithmetic, SFU offload, issue accounting.
+//! * [`memstage`] — the memory stage: coalescer → tag controller → DRAM
+//!   and the banked scratchpad, plus the compressed stack cache filter.
+//! * [`writeback`] — register writeback (spill/fill costing) and PC/status
+//!   commit.
+//!
+//! `Sm` itself (in [`crate::sm`]) keeps only the state and the host API;
+//! the stages reach into its `pub(crate)` fields exactly as the monolithic
+//! implementation did, so the cycle-level behaviour is unchanged.
+
+pub(crate) mod execute;
+pub(crate) mod memstage;
+pub(crate) mod operands;
+pub(crate) mod schedule;
+pub(crate) mod writeback;
+
+use simt_regfile::{ReadInfo, WriteInfo};
+
+/// What one scheduler step did (see [`schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Every thread has terminated; the run is complete.
+    Done,
+    /// An instruction issued or time advanced to the next resume point.
+    Progress,
+}
+
+/// Costs accumulated while executing one instruction.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Costs {
+    /// Stalls from CHERI mechanisms (CSC serialisation, shared-VRF
+    /// conflicts, capability multi-flit accesses).
+    pub(crate) extra_cycles: u32,
+    /// Stalls from register spill/fill handling.
+    pub(crate) spill_cycles: u32,
+    pub(crate) dram_reads: u32,
+    pub(crate) dram_writes: u32,
+}
+
+impl Costs {
+    pub(crate) fn add_read(&mut self, spill_cycles: u32, lanes: u32, info: ReadInfo) {
+        let txns = lanes.div_ceil(16); // lanes * 4 bytes / 64-byte blocks
+        self.spill_cycles += (info.fills + info.spills) * spill_cycles;
+        self.dram_reads += info.fills * txns;
+        self.dram_writes += info.spills * txns;
+    }
+
+    pub(crate) fn add_write(&mut self, spill_cycles: u32, lanes: u32, info: WriteInfo) {
+        let txns = lanes.div_ceil(16);
+        self.spill_cycles += (info.fills + info.spills) * spill_cycles;
+        self.dram_reads += info.fills * txns;
+        self.dram_writes += info.spills * txns;
+    }
+}

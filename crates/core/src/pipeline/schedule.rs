@@ -1,0 +1,117 @@
+//! Schedule stage: the barrel scheduler.
+//!
+//! Owns the round-robin warp pick, barrier release, the `idle` stall
+//! counter and its trace events, and deadlock detection. One call to
+//! [`Sm::step`] is one scheduler decision: issue an instruction, advance
+//! time to the next resume point, or report the run finished/deadlocked.
+
+use super::StepOutcome;
+use crate::sm::Sm;
+use crate::trap::RunError;
+use crate::warp::{ThreadStatus, Warp};
+use simt_trace::{StallCause, TraceEvent, NO_WARP};
+
+impl Sm {
+    /// One scheduler step: release barriers, pick a ready warp round-robin
+    /// and issue it, or advance time to the next resume point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Trap`] on a thread fault, [`RunError::Timeout`]
+    /// past `max_cycles`, and [`RunError::Deadlock`] when only
+    /// barrier-blocked warps remain and no block can release.
+    pub(crate) fn step(&mut self, max_cycles: u64) -> Result<StepOutcome, RunError> {
+        if self.warps.iter().all(Warp::done) {
+            return Ok(StepOutcome::Done);
+        }
+        if self.cycle >= max_cycles {
+            return Err(RunError::Timeout { cycles: self.cycle });
+        }
+        self.release_barriers();
+
+        let n = self.warps.len();
+        let mut picked = None;
+        for i in 0..n {
+            let w = (self.rr + i) % n;
+            let warp = &self.warps[w];
+            if !warp.done()
+                && !warp.blocked_at_barrier()
+                && warp.ready_at <= self.cycle
+                && warp.select().is_some()
+            {
+                picked = Some(w);
+                break;
+            }
+        }
+        match picked {
+            Some(w) => {
+                self.rr = (w + 1) % n;
+                self.issue(w)?;
+            }
+            None => {
+                // Advance time to the next resume point.
+                let next = self
+                    .warps
+                    .iter()
+                    .filter(|w| !w.done() && !w.blocked_at_barrier())
+                    .map(|w| w.ready_at)
+                    .min();
+                match next {
+                    Some(t) if t > self.cycle => {
+                        self.stats.stalls.idle += t - self.cycle;
+                        self.emit_stall(NO_WARP, StallCause::Idle, t - self.cycle);
+                        self.cycle = t;
+                    }
+                    _ => {
+                        // Only barrier-blocked warps remain and the
+                        // release pass freed none: deadlock.
+                        let blocked_warps =
+                            self.warps.iter().filter(|w| w.blocked_at_barrier()).count() as u32;
+                        return Err(RunError::Deadlock { cycles: self.cycle, blocked_warps });
+                    }
+                }
+            }
+        }
+        Ok(StepOutcome::Progress)
+    }
+
+    /// Release barriers: a block whose live warps are all blocked at the
+    /// barrier resumes as a unit.
+    pub(crate) fn release_barriers(&mut self) {
+        let per_block = self.block_warps as usize;
+        let n = self.warps.len();
+        let mut b = 0;
+        while b < n {
+            let group = b..(b + per_block).min(n);
+            let any_blocked = group.clone().any(|w| self.warps[w].blocked_at_barrier());
+            let all_parked =
+                group.clone().all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
+            if any_blocked && all_parked {
+                for w in group {
+                    let released = {
+                        let warp = &mut self.warps[w];
+                        let mut released = false;
+                        for s in &mut warp.status {
+                            if *s == ThreadStatus::AtBarrier {
+                                *s = ThreadStatus::Active;
+                                released = true;
+                            }
+                        }
+                        warp.ready_at = warp.ready_at.max(self.cycle + 1);
+                        released
+                    };
+                    if released {
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.emit(TraceEvent::Barrier {
+                                cycle: self.cycle,
+                                warp: w as u32,
+                                release: true,
+                            });
+                        }
+                    }
+                }
+            }
+            b += per_block;
+        }
+    }
+}

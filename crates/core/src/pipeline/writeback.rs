@@ -1,0 +1,81 @@
+//! Writeback stage: register-file writes and PC/status commit.
+//!
+//! Owns the data/metadata write paths (spill/fill costing, traced RF
+//! writes) and the final commit of per-thread PCs and status changes.
+
+use super::Costs;
+use crate::sm::Sm;
+use crate::warp::{Selection, ThreadStatus};
+use simt_isa::Reg;
+use simt_regfile::{MAX_LANES, NULL_META};
+
+impl Sm {
+    pub(crate) fn write_data(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        vals: &[u64],
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        if rd.is_zero() {
+            return;
+        }
+        let info = match self.sink.as_deref_mut() {
+            Some(sink) => {
+                self.data_rf.write_traced(w, rd.index() as u32, vals, mask, self.cycle, sink)
+            }
+            None => self.data_rf.write(w, rd.index() as u32, vals, mask),
+        };
+        costs.add_write(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
+    }
+
+    pub(crate) fn write_meta(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        vals: &[u64],
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        if rd.is_zero() {
+            return;
+        }
+        let lanes = self.cfg.lanes;
+        let spill = self.cfg.timing.spill_cycles;
+        let cycle = self.cycle;
+        if let Some(rf) = self.meta_rf.as_mut() {
+            let info = match self.sink.as_deref_mut() {
+                Some(sink) => rf.write_traced(w, rd.index() as u32, vals, mask, cycle, sink),
+                None => rf.write(w, rd.index() as u32, vals, mask),
+            };
+            costs.add_write(spill, lanes, info);
+        }
+    }
+
+    pub(crate) fn write_meta_null(&mut self, w: u32, rd: Reg, mask: u64, costs: &mut Costs) {
+        if self.cheri() {
+            let nulls = [NULL_META; MAX_LANES];
+            self.write_meta(w, rd, &nulls, mask, costs);
+        }
+    }
+
+    /// Commit PC updates and status changes for the selected threads.
+    pub(crate) fn advance(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        next_pc: &[u32; MAX_LANES],
+        status_change: Option<ThreadStatus>,
+    ) {
+        let warp = &mut self.warps[w as usize];
+        for (i, &pc) in next_pc.iter().enumerate().take(self.cfg.lanes as usize) {
+            if sel.mask >> i & 1 == 1 {
+                warp.pc[i] = pc;
+                if let Some(s) = status_change {
+                    warp.status[i] = s;
+                }
+            }
+        }
+    }
+}

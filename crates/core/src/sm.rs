@@ -1,111 +1,64 @@
-//! The streaming multiprocessor: barrel scheduler, execute units, CHERI
-//! checks, SFU, and the wiring to the memory subsystem (Figure 2 + Figure 8).
+//! The streaming multiprocessor: state, host-facing control surface, and
+//! the run loop driving the pipeline stages (Figure 2 + Figure 8).
+//!
+//! The per-stage logic lives in [`crate::pipeline`] — `schedule`,
+//! `operands`, `execute`, `memstage` and `writeback` each contribute an
+//! `impl Sm` block owning their slice of the statistics and trace events.
+//! This module keeps only the state, the host API (program loading,
+//! SCRs, sinks, reset) and the cycle loop.
 
 use crate::config::{CheriOpts, SmConfig};
 use crate::counters::KernelStats;
-use crate::exec;
-use crate::trap::{RunError, Trap, TrapCause};
-use crate::warp::{Selection, ThreadStatus, Warp};
-use cheri_cap::{bounds, AccessWidth, CapMem, CapPipe, Perms};
-use simt_isa::{scr, Instr, LoadWidth, Reg, SimtOp, UnaryCapOp};
-use simt_mem::{
-    map, CoalescingUnit, Dram, LaneRequest, MainMemory, MemFault, Scratchpad, TagController,
-};
-use simt_regfile::{CompressedRegFile, ReadInfo, RfConfig, WriteInfo, MAX_LANES, NULL_META};
-use simt_trace::{EventSink, MemSpace, StallCause, TraceEvent, NO_WARP};
-
-/// One retired warp-instruction, captured when tracing is enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEntry {
-    /// Issue cycle.
-    pub cycle: u64,
-    /// Issuing warp.
-    pub warp: u32,
-    /// Active-lane mask.
-    pub mask: u64,
-    /// Program counter.
-    pub pc: u32,
-    /// The instruction.
-    pub instr: Instr,
-}
-
-impl core::fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "[{:>8}] w{:02} {:016b} {:08x}: {}",
-            self.cycle, self.warp, self.mask, self.pc, self.instr
-        )
-    }
-}
+use crate::pipeline::StepOutcome;
+use crate::trap::RunError;
+use crate::warp::Warp;
+use cheri_cap::{CapMem, CapPipe, Perms};
+use simt_isa::Instr;
+use simt_mem::{map, CoalescingUnit, Dram, MainMemory, Scratchpad, TagController};
+use simt_regfile::{CompressedRegFile, RfConfig};
+use simt_trace::{EventSink, StallCause, TraceEvent};
 
 /// The streaming multiprocessor model.
 #[derive(Debug)]
 pub struct Sm {
-    cfg: SmConfig,
-    opts: Option<CheriOpts>,
-    imem: Vec<Option<Instr>>,
-    imem_raw: Vec<u32>,
-    warps: Vec<Warp>,
-    data_rf: CompressedRegFile,
-    meta_rf: Option<CompressedRegFile>,
-    scrs: [CapMem; 32],
+    pub(crate) cfg: SmConfig,
+    pub(crate) opts: Option<CheriOpts>,
+    pub(crate) imem: Vec<Option<Instr>>,
+    pub(crate) imem_raw: Vec<u32>,
+    pub(crate) warps: Vec<Warp>,
+    pub(crate) data_rf: CompressedRegFile,
+    pub(crate) meta_rf: Option<CompressedRegFile>,
+    pub(crate) scrs: [CapMem; 32],
     /// PCC for kernel launch (code capability over the loaded program).
-    launch_pcc: CapPipe,
-    mem: MainMemory,
-    scratch: Scratchpad,
-    dram: Dram,
-    tags: TagController,
-    coalescer: CoalescingUnit,
+    pub(crate) launch_pcc: CapPipe,
+    pub(crate) mem: MainMemory,
+    pub(crate) scratch: Scratchpad,
+    pub(crate) dram: Dram,
+    pub(crate) tags: TagController,
+    pub(crate) coalescer: CoalescingUnit,
     /// Warps per thread block, for barrier grouping.
-    block_warps: u32,
+    pub(crate) block_warps: u32,
     /// Stack arena (base, size) for the compressed stack cache filter.
-    stack_region: Option<(u32, u32)>,
+    pub(crate) stack_region: Option<(u32, u32)>,
     /// GPUShield comparator mode: a per-launch bounds table.
-    bounds_table: Option<crate::shield::BoundsTable>,
-    /// Execution trace ring buffer (empty capacity = tracing off).
-    trace: std::collections::VecDeque<TraceEntry>,
-    trace_capacity: usize,
-    /// Entries evicted from the legacy ring since it was last enabled.
-    trace_dropped: u64,
+    pub(crate) bounds_table: Option<crate::shield::BoundsTable>,
     /// Structured event sink (`None` = tracing off; the pipeline and the
     /// memory hierarchy emit nothing and take only an `Option` branch).
-    sink: Option<Box<dyn EventSink>>,
-    stats: KernelStats,
-    cycle: u64,
-    rr: usize,
+    pub(crate) sink: Option<Box<dyn EventSink>>,
+    pub(crate) stats: KernelStats,
+    pub(crate) cycle: u64,
+    pub(crate) rr: usize,
     /// Occupancy sampling accumulators.
-    samples: u64,
-    sum_data_resident: u64,
-    sum_meta_resident: u64,
-}
-
-/// Costs accumulated while executing one instruction.
-#[derive(Debug, Default, Clone, Copy)]
-struct Costs {
-    /// Stalls from CHERI mechanisms (CSC serialisation, shared-VRF
-    /// conflicts, capability multi-flit accesses).
-    extra_cycles: u32,
-    /// Stalls from register spill/fill handling.
-    spill_cycles: u32,
-    dram_reads: u32,
-    dram_writes: u32,
-}
-
-impl Costs {
-    fn add_read(&mut self, spill_cycles: u32, lanes: u32, info: ReadInfo) {
-        let txns = lanes.div_ceil(16); // lanes * 4 bytes / 64-byte blocks
-        self.spill_cycles += (info.fills + info.spills) * spill_cycles;
-        self.dram_reads += info.fills * txns;
-        self.dram_writes += info.spills * txns;
-    }
-
-    fn add_write(&mut self, spill_cycles: u32, lanes: u32, info: WriteInfo) {
-        let txns = lanes.div_ceil(16);
-        self.spill_cycles += (info.fills + info.spills) * spill_cycles;
-        self.dram_reads += info.fills * txns;
-        self.dram_writes += info.spills * txns;
-    }
+    pub(crate) samples: u64,
+    pub(crate) sum_data_resident: u64,
+    pub(crate) sum_meta_resident: u64,
+    /// First global hart id on this SM (`sm_index × threads_per_sm` on a
+    /// multi-SM [`crate::Device`]; 0 stand-alone).
+    pub(crate) hart_base: u32,
+    /// What `SIMT_NUM_THREADS` reads: the *device-wide* thread count, so
+    /// grid-stride kernels distribute work across every SM. Equals
+    /// `cfg.threads()` stand-alone.
+    pub(crate) device_threads: u32,
 }
 
 impl Sm {
@@ -148,9 +101,6 @@ impl Sm {
             block_warps: 1,
             stack_region: None,
             bounds_table: None,
-            trace: std::collections::VecDeque::new(),
-            trace_capacity: 0,
-            trace_dropped: 0,
             sink: None,
             stats: KernelStats::default(),
             cycle: 0,
@@ -158,6 +108,8 @@ impl Sm {
             samples: 0,
             sum_data_resident: 0,
             sum_meta_resident: 0,
+            hart_base: 0,
+            device_threads: cfg.threads(),
             cfg,
         }
     }
@@ -187,37 +139,27 @@ impl Sm {
         self.scrs[index as usize] = cap;
     }
 
-    /// Keep a rolling trace of the last `capacity` retired
-    /// warp-instructions (0 disables tracing). Invaluable when a kernel
-    /// traps: the tail of the trace shows how it got there.
-    ///
-    /// **Ring-buffer semantics**: once `capacity` entries have been
-    /// recorded, each further retirement evicts the *oldest* entry — the
-    /// buffer always holds the most recent `capacity` warp-instructions.
-    /// Evictions are counted and reported by [`Sm::trace_dropped`].
-    /// Re-enabling clears the buffer and the dropped count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Sm::set_sink with a simt_trace::RingSink or VecSink — the structured \
-                sink API captures the same issue stream plus stalls, memory shape and \
-                register-file events, with explicit overflow accounting"
-    )]
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace_capacity = capacity;
-        self.trace.clear();
-        self.trace_dropped = 0;
+    /// Place this SM at `hart_base` within a device: `MHARTID` reads
+    /// `hart_base + warp × lanes + lane`. A stand-alone SM keeps the
+    /// default 0.
+    pub fn set_hart_base(&mut self, hart_base: u32) {
+        self.hart_base = hart_base;
     }
 
-    /// The legacy trace buffer, oldest first.
-    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
-        self.trace.iter()
+    /// First global hart id on this SM.
+    pub fn hart_base(&self) -> u32 {
+        self.hart_base
     }
 
-    /// Entries evicted from the legacy ring buffer since tracing was last
-    /// enabled. A non-zero value means [`Sm::trace`] shows only the tail of
-    /// the execution.
-    pub fn trace_dropped(&self) -> u64 {
-        self.trace_dropped
+    /// Override what `SIMT_NUM_THREADS` reads (the device-wide hardware
+    /// thread count on a multi-SM device). Defaults to this SM's own
+    /// thread count.
+    pub fn set_device_threads(&mut self, threads: u32) {
+        assert!(
+            threads >= self.cfg.threads() && threads.is_multiple_of(self.cfg.threads()),
+            "device threads must be a whole number of SMs"
+        );
+        self.device_threads = threads;
     }
 
     /// Attach a structured event sink: the pipeline, memory hierarchy and
@@ -226,6 +168,10 @@ impl Sm {
     /// [`simt_trace::TraceEvent::Launch`] marker), so a multi-launch
     /// benchmark accumulates one continuous stream. Replaces any previously
     /// attached sink.
+    ///
+    /// For a bounded always-on trace, attach a [`simt_trace::RingSink`]: it
+    /// keeps the most recent events and counts evictions, which is the tool
+    /// for "how did this kernel reach the trap?" post-mortems.
     pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sink = Some(sink);
     }
@@ -243,7 +189,7 @@ impl Sm {
 
     /// Emit a stall event (no-op without a sink or for zero-cycle stalls, so
     /// per-cause cycle sums always reconcile with `StallBreakdown`).
-    fn emit_stall(&mut self, warp: u32, cause: StallCause, cycles: u64) {
+    pub(crate) fn emit_stall(&mut self, warp: u32, cause: StallCause, cycles: u64) {
         if cycles > 0 {
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.emit(TraceEvent::Stall { cycle: self.cycle, warp, cause, cycles });
@@ -332,64 +278,27 @@ impl Sm {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::Trap`] on the first thread fault and
-    /// [`RunError::Timeout`] if the watchdog expires.
+    /// Returns [`RunError::Trap`] on the first thread fault,
+    /// [`RunError::Timeout`] if the watchdog expires, and
+    /// [`RunError::Deadlock`] when only barrier-blocked warps remain.
     pub fn run(&mut self, max_cycles: u64) -> Result<KernelStats, RunError> {
         assert!(!self.warps.is_empty(), "call reset() before run()");
         loop {
-            if self.warps.iter().all(Warp::done) {
-                return Ok(self.finalise());
-            }
-            if self.cycle >= max_cycles {
-                return Err(RunError::Timeout { cycles: self.cycle });
-            }
-            self.release_barriers();
-
-            let n = self.warps.len();
-            let mut picked = None;
-            for i in 0..n {
-                let w = (self.rr + i) % n;
-                let warp = &self.warps[w];
-                if !warp.done()
-                    && !warp.blocked_at_barrier()
-                    && warp.ready_at <= self.cycle
-                    && warp.select().is_some()
-                {
-                    picked = Some(w);
-                    break;
-                }
-            }
-            match picked {
-                Some(w) => {
-                    self.rr = (w + 1) % n;
-                    self.issue(w)?;
-                }
-                None => {
-                    // Advance time to the next resume point.
-                    let next = self
-                        .warps
-                        .iter()
-                        .filter(|w| !w.done() && !w.blocked_at_barrier())
-                        .map(|w| w.ready_at)
-                        .min();
-                    match next {
-                        Some(t) if t > self.cycle => {
-                            self.stats.stalls.idle += t - self.cycle;
-                            self.emit_stall(NO_WARP, StallCause::Idle, t - self.cycle);
-                            self.cycle = t;
-                        }
-                        _ => {
-                            // Only barrier-blocked warps remain and the
-                            // release pass freed none: deadlock.
-                            return Err(RunError::Timeout { cycles: self.cycle });
-                        }
-                    }
-                }
+            match self.step(max_cycles)? {
+                StepOutcome::Done => return Ok(self.finalise()),
+                StepOutcome::Progress => {}
             }
         }
     }
 
-    fn finalise(&mut self) -> KernelStats {
+    /// The local pipeline clock.
+    pub(crate) fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Snapshot the end-of-run statistics from the pipeline accumulators
+    /// and the attached memory subsystem.
+    pub(crate) fn finalise(&mut self) -> KernelStats {
         let mut s = self.stats.clone();
         s.cycles = self.cycle;
         s.dram = self.dram.stats();
@@ -411,1174 +320,8 @@ impl Sm {
         s
     }
 
-    /// Release barriers: a block whose live warps are all blocked at the
-    /// barrier resumes as a unit.
-    fn release_barriers(&mut self) {
-        let per_block = self.block_warps as usize;
-        let n = self.warps.len();
-        let mut b = 0;
-        while b < n {
-            let group = b..(b + per_block).min(n);
-            let any_blocked = group.clone().any(|w| self.warps[w].blocked_at_barrier());
-            let all_parked =
-                group.clone().all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
-            if any_blocked && all_parked {
-                for w in group {
-                    let released = {
-                        let warp = &mut self.warps[w];
-                        let mut released = false;
-                        for s in &mut warp.status {
-                            if *s == ThreadStatus::AtBarrier {
-                                *s = ThreadStatus::Active;
-                                released = true;
-                            }
-                        }
-                        warp.ready_at = warp.ready_at.max(self.cycle + 1);
-                        released
-                    };
-                    if released {
-                        if let Some(sink) = self.sink.as_deref_mut() {
-                            sink.emit(TraceEvent::Barrier {
-                                cycle: self.cycle,
-                                warp: w as u32,
-                                release: true,
-                            });
-                        }
-                    }
-                }
-            }
-            b += per_block;
-        }
-    }
-
-    // ---- Register access helpers ----
-
-    fn cheri(&self) -> bool {
-        self.opts.is_some()
-    }
-
-    fn read_data(
-        &mut self,
-        w: u32,
-        reg: Reg,
-        out: &mut [u64; MAX_LANES],
-        costs: &mut Costs,
-    ) -> ReadInfo {
-        if reg.is_zero() {
-            out[..self.cfg.lanes as usize].fill(0);
-            return ReadInfo::default();
-        }
-        let info = self.data_rf.read(w, reg.index() as u32, out);
-        costs.add_read(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
-        info
-    }
-
-    fn read_meta(
-        &mut self,
-        w: u32,
-        reg: Reg,
-        out: &mut [u64; MAX_LANES],
-        costs: &mut Costs,
-    ) -> ReadInfo {
-        if reg.is_zero() {
-            out[..self.cfg.lanes as usize].fill(NULL_META);
-            return ReadInfo::default();
-        }
-        let lanes = self.cfg.lanes;
-        let spill = self.cfg.timing.spill_cycles;
-        match self.meta_rf.as_mut() {
-            Some(rf) => {
-                let info = rf.read(w, reg.index() as u32, out);
-                costs.add_read(spill, lanes, info);
-                info
-            }
-            None => {
-                out[..lanes as usize].fill(NULL_META);
-                ReadInfo::default()
-            }
-        }
-    }
-
-    /// Read a full capability operand: data (address) + metadata, with the
-    /// shared-VRF serialisation penalty when both halves are uncompressed.
-    fn read_cap_operand(
-        &mut self,
-        w: u32,
-        reg: Reg,
-        data: &mut [u64; MAX_LANES],
-        meta: &mut [u64; MAX_LANES],
-        costs: &mut Costs,
-    ) {
-        let d = self.read_data(w, reg, data, costs);
-        let m = self.read_meta(w, reg, meta, costs);
-        if let Some(o) = self.opts {
-            if o.shared_vrf && d.from_vrf && m.from_vrf {
-                costs.extra_cycles += 1;
-                self.stats.stalls.shared_vrf_conflict += 1;
-                self.emit_stall(w, StallCause::SharedVrfConflict, 1);
-            }
-        }
-    }
-
-    fn write_data(&mut self, w: u32, rd: Reg, vals: &[u64], mask: u64, costs: &mut Costs) {
-        if rd.is_zero() {
-            return;
-        }
-        let info = match self.sink.as_deref_mut() {
-            Some(sink) => {
-                self.data_rf.write_traced(w, rd.index() as u32, vals, mask, self.cycle, sink)
-            }
-            None => self.data_rf.write(w, rd.index() as u32, vals, mask),
-        };
-        costs.add_write(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
-    }
-
-    fn write_meta(&mut self, w: u32, rd: Reg, vals: &[u64], mask: u64, costs: &mut Costs) {
-        if rd.is_zero() {
-            return;
-        }
-        let lanes = self.cfg.lanes;
-        let spill = self.cfg.timing.spill_cycles;
-        let cycle = self.cycle;
-        if let Some(rf) = self.meta_rf.as_mut() {
-            let info = match self.sink.as_deref_mut() {
-                Some(sink) => rf.write_traced(w, rd.index() as u32, vals, mask, cycle, sink),
-                None => rf.write(w, rd.index() as u32, vals, mask),
-            };
-            costs.add_write(spill, lanes, info);
-        }
-    }
-
-    fn write_meta_null(&mut self, w: u32, rd: Reg, mask: u64, costs: &mut Costs) {
-        if self.cheri() {
-            let nulls = [NULL_META; MAX_LANES];
-            self.write_meta(w, rd, &nulls, mask, costs);
-        }
-    }
-
-    // ---- Capability marshalling ----
-
-    #[inline]
-    fn cap_of(meta: u64, addr: u64) -> CapPipe {
-        CapPipe::from_mem(CapMem::from_parts(meta as u32, addr as u32, meta >> 32 & 1 == 1))
-    }
-
-    #[inline]
-    fn cap_parts(cap: CapPipe) -> (u64, u64) {
-        let m = cap.to_mem();
-        (m.meta() as u64 | ((m.tag() as u64) << 32), m.addr() as u64)
-    }
-
-    // ---- The issue path ----
-
-    fn trap(&self, w: u32, sel: &Selection, lane: u32, cause: TrapCause) -> Trap {
-        Trap { warp: w, lane, pc: sel.pc, cause }
-    }
-
-    fn issue(&mut self, w: usize) -> Result<(), RunError> {
-        let sel = self.warps[w].select().expect("issue() requires a selectable warp");
-        let wid = w as u32;
-
-        // Fetch: one PCC bounds check per warp (Section 3.3).
-        if self.cheri() {
-            let pcc = Self::cap_of(sel.pcc_meta, sel.pc as u64);
-            if let Err(e) = pcc.check_fetch(sel.pc) {
-                return Err(self
-                    .trap(wid, &sel, sel.mask.trailing_zeros(), TrapCause::Cheri(e))
-                    .into());
-            }
-        }
-        if sel.pc < map::TCIM_BASE || ((sel.pc - map::TCIM_BASE) / 4) as usize >= self.imem.len() {
-            return Err(self
-                .trap(wid, &sel, sel.mask.trailing_zeros(), TrapCause::FetchOutOfRange(sel.pc))
-                .into());
-        }
-        let idx = ((sel.pc - map::TCIM_BASE) / 4) as usize;
-        let instr = match self.imem[idx] {
-            Some(i) => i,
-            None => {
-                return Err(self
-                    .trap(
-                        wid,
-                        &sel,
-                        sel.mask.trailing_zeros(),
-                        TrapCause::IllegalInstr(self.imem_raw[idx]),
-                    )
-                    .into())
-            }
-        };
-
-        // Issue accounting.
-        self.cycle += 1;
-        if self.trace_capacity > 0 {
-            if self.trace.len() == self.trace_capacity {
-                self.trace.pop_front();
-                self.trace_dropped += 1;
-            }
-            self.trace.push_back(TraceEntry {
-                cycle: self.cycle,
-                warp: wid,
-                mask: sel.mask,
-                pc: sel.pc,
-                instr,
-            });
-        }
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.emit(TraceEvent::Issue {
-                cycle: self.cycle,
-                warp: wid,
-                pc: sel.pc,
-                mask: sel.mask,
-                mnemonic: instr.mnemonic(),
-            });
-        }
-        self.stats.instrs += 1;
-        self.stats.thread_instrs += sel.mask.count_ones() as u64;
-        self.samples += 1;
-        self.sum_data_resident += self.data_rf.vrf_resident() as u64;
-        if let Some(m) = &self.meta_rf {
-            self.sum_meta_resident += m.vrf_resident() as u64;
-        }
-
-        let mut costs = Costs::default();
-        let result = self.execute(wid, &sel, instr, &mut costs);
-
-        // Apply accumulated costs.
-        self.cycle += (costs.extra_cycles + costs.spill_cycles) as u64;
-        self.stats.stalls.spill_fill += costs.spill_cycles as u64;
-        self.emit_stall(wid, StallCause::SpillFill, costs.spill_cycles as u64);
-        if costs.dram_reads + costs.dram_writes > 0 {
-            match self.sink.as_deref_mut() {
-                Some(sink) => {
-                    self.dram.access_traced(
-                        self.cycle,
-                        costs.dram_reads,
-                        costs.dram_writes,
-                        0,
-                        wid,
-                        sink,
-                    );
-                }
-                None => {
-                    self.dram.access(self.cycle, costs.dram_reads, costs.dram_writes, 0);
-                }
-            }
-        }
-        result
-    }
-
-    /// Execute `instr` for the selected threads of warp `w`.
-    #[allow(clippy::too_many_lines)]
-    fn execute(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        instr: Instr,
-        costs: &mut Costs,
-    ) -> Result<(), RunError> {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
-        let cheri = self.cheri();
-        let mut a = [0u64; MAX_LANES];
-        let mut b = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
-        let mut rm = [NULL_META; MAX_LANES];
-        // Default next PC: sequential.
-        let mut next_pc = [sel.pc.wrapping_add(4); MAX_LANES];
-        let mut status_change: Option<ThreadStatus> = None;
-        let mut write_rd: Option<Reg> = None;
-        let mut rd_is_cap = false;
-
-        macro_rules! active {
-            () => {
-                (0..lanes).filter(|i| mask >> i & 1 == 1)
-            };
-        }
-
-        match instr {
-            Instr::Lui { rd, imm } => {
-                r[..lanes].fill(imm as u64);
-                write_rd = Some(rd);
-            }
-            Instr::Auipc { rd, imm } => {
-                let target = sel.pc.wrapping_add(imm);
-                if cheri {
-                    self.stats.count_cheri("AUIPCC", 1);
-                    let cap = Self::cap_of(sel.pcc_meta, sel.pc as u64).set_addr(target);
-                    let (m, d) = Self::cap_parts(cap);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    r[..lanes].fill(target as u64);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Jal { rd, off } => {
-                if cheri {
-                    self.stats.count_cheri("CJAL", 1);
-                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                        .set_addr(sel.pc.wrapping_add(4))
-                        .seal_entry();
-                    let (m, d) = Self::cap_parts(link);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
-                }
-                let target = sel.pc.wrapping_add(off as u32);
-                for i in active!() {
-                    next_pc[i] = target;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Jalr { rd, rs1, off } => {
-                if cheri {
-                    self.stats.count_cheri("CJALR", 1);
-                    self.read_cap_operand(w, rs1, &mut a, &mut am, costs);
-                    for i in active!() {
-                        let cap = Self::cap_of(am[i], a[i]);
-                        let target = (cap.addr().wrapping_add(off as u32)) & !1;
-                        let cap = cap.unseal_sentry();
-                        if let Err(e) = cap.check_fetch(target) {
-                            return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                        }
-                        let (m, _) = Self::cap_parts(cap);
-                        self.warps[w as usize].set_pcc_meta(i, m);
-                        next_pc[i] = target;
-                    }
-                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                        .set_addr(sel.pc.wrapping_add(4))
-                        .seal_entry();
-                    let (m, d) = Self::cap_parts(link);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    self.read_data(w, rs1, &mut a, costs);
-                    for i in active!() {
-                        next_pc[i] = (a[i] as u32).wrapping_add(off as u32) & !1;
-                    }
-                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Branch { cond, rs1, rs2, off } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                let target = sel.pc.wrapping_add(off as u32);
-                for i in active!() {
-                    if exec::branch_taken(cond, a[i] as u32, b[i] as u32) {
-                        next_pc[i] = target;
-                    }
-                }
-            }
-            Instr::Load { w: lw, rd, rs1, off } => {
-                if cheri {
-                    self.stats.count_cheri(
-                        match lw {
-                            LoadWidth::B => "CLB",
-                            LoadWidth::H => "CLH",
-                            LoadWidth::W => "CLW",
-                            LoadWidth::Bu => "CLBU",
-                            LoadWidth::Hu => "CLHU",
-                        },
-                        1,
-                    );
-                }
-                self.do_load_store(
-                    w,
-                    sel,
-                    rs1,
-                    Some(rd),
-                    Reg::ZERO,
-                    off,
-                    lw.bytes(),
-                    false,
-                    false,
-                    lw,
-                    costs,
-                )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::Store { w: sw, rs2, rs1, off } => {
-                if cheri {
-                    self.stats.count_cheri(
-                        match sw {
-                            simt_isa::StoreWidth::B => "CSB",
-                            simt_isa::StoreWidth::H => "CSH",
-                            simt_isa::StoreWidth::W => "CSW",
-                        },
-                        1,
-                    );
-                }
-                self.do_load_store(
-                    w,
-                    sel,
-                    rs1,
-                    None,
-                    rs2,
-                    off,
-                    sw.bytes(),
-                    true,
-                    false,
-                    LoadWidth::W,
-                    costs,
-                )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::Clc { cd, cs1, off } => {
-                self.stats.count_cheri("CLC", 1);
-                self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
-                self.emit_stall(
-                    w,
-                    StallCause::CapMultiFlit,
-                    self.cfg.timing.cap_access_extra as u64,
-                );
-                costs.extra_cycles += self.cfg.timing.cap_access_extra;
-                self.do_load_store(
-                    w,
-                    sel,
-                    cs1,
-                    Some(cd),
-                    Reg::ZERO,
-                    off,
-                    8,
-                    false,
-                    true,
-                    LoadWidth::W,
-                    costs,
-                )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::Csc { cs2, cs1, off } => {
-                self.stats.count_cheri("CSC", 1);
-                self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
-                self.emit_stall(
-                    w,
-                    StallCause::CapMultiFlit,
-                    self.cfg.timing.cap_access_extra as u64,
-                );
-                costs.extra_cycles += self.cfg.timing.cap_access_extra;
-                // Single-read-port metadata SRF: CSC needs cs1 and cs2
-                // metadata, costing an extra operand-fetch cycle in the
-                // optimised configuration (Section 3.2).
-                if let Some(o) = self.opts {
-                    if o.compress_meta {
-                        costs.extra_cycles += 1;
-                        self.stats.stalls.csc_serialisation += 1;
-                        self.emit_stall(w, StallCause::CscSerialisation, 1);
-                    }
-                }
-                self.do_load_store(
-                    w,
-                    sel,
-                    cs1,
-                    None,
-                    cs2,
-                    off,
-                    8,
-                    true,
-                    true,
-                    LoadWidth::W,
-                    costs,
-                )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::OpImm { op, rd, rs1, imm } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::alu(op, a[i] as u32, imm as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Op { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::alu(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::MulDiv { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::muldiv(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                if matches!(
-                    op,
-                    simt_isa::MulOp::Div
-                        | simt_isa::MulOp::Divu
-                        | simt_isa::MulOp::Rem
-                        | simt_isa::MulOp::Remu
-                ) {
-                    self.warps[w as usize].ready_at =
-                        self.cycle + self.cfg.timing.div_latency as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Amo { op, rd, rs1, rs2 } => {
-                if cheri {
-                    self.stats.count_cheri("CAMO", 1);
-                }
-                self.read_data(w, rs2, &mut b, costs);
-                self.do_amo(w, sel, rs1, rd, op, &b, costs)?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::Fence => {}
-            Instr::Ecall | Instr::Ebreak => {
-                return Err(self
-                    .trap(w, sel, sel.mask.trailing_zeros(), TrapCause::Environment)
-                    .into());
-            }
-            Instr::Csrrs { rd, csr, .. } => {
-                use simt_isa::csr as c;
-                for i in active!() {
-                    r[i] = match csr {
-                        c::MHARTID => (w * self.cfg.lanes + i as u32) as u64,
-                        c::SIMT_NUM_WARPS => self.cfg.warps as u64,
-                        c::SIMT_LOG_LANES => self.cfg.lanes.trailing_zeros() as u64,
-                        c::SIMT_NUM_THREADS => self.cfg.threads() as u64,
-                        _ => 0,
-                    };
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FOp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::fp(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                if op == simt_isa::FpOp::Div {
-                    self.sfu_suspend(w, sel);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FSqrt { rd, rs1 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fsqrt(a[i] as u32) as u64;
-                }
-                self.sfu_suspend(w, sel);
-                write_rd = Some(rd);
-            }
-            Instr::FCmp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::fcmp(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FCvtWS { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fcvt_ws(a[i] as u32, signed) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FCvtSW { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fcvt_sw(a[i] as u32, signed) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::CapUnary { op, rd, cs1 } => {
-                self.exec_cap_unary(w, sel, op, rd, cs1, &mut r, &mut rm, &mut rd_is_cap, costs);
-                write_rd = Some(rd);
-            }
-            Instr::CAndPerm { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CAndPerm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).and_perm(Perms::from_bits(b[i] as u16));
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetFlags { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetFlags", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_flags(b[i] & 1 == 1);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetAddr { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetAddr", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_addr(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CIncOffset { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CIncOffset", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).inc_offset(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CIncOffsetImm { cd, cs1, imm } => {
-                self.stats.count_cheri("CIncOffsetImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).inc_offset(imm as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBounds { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetBounds", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBoundsExact { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetBoundsExact", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_bounds_exact(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBoundsImm { cd, cs1, imm } => {
-                self.stats.count_cheri("CSetBoundsImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                for i in active!() {
-                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(imm);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSpecialRw { cd, scr: s, .. } => {
-                self.stats.count_cheri("CSpecialRW", 1);
-                let cap = if s == scr::PCC {
-                    Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                } else {
-                    CapPipe::from_mem(self.scrs[s as usize])
-                };
-                let (m, d) = Self::cap_parts(cap);
-                r[..lanes].fill(d);
-                rm[..lanes].fill(m);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::Simt { op: SimtOp::Terminate } => {
-                status_change = Some(ThreadStatus::Terminated);
-            }
-            Instr::Simt { op: SimtOp::Barrier } => {
-                self.stats.barriers += 1;
-                if let Some(sink) = self.sink.as_deref_mut() {
-                    sink.emit(TraceEvent::Barrier { cycle: self.cycle, warp: w, release: false });
-                }
-                status_change = Some(ThreadStatus::AtBarrier);
-            }
-        }
-
-        if let Some(rd) = write_rd {
-            self.write_data(w, rd, &r, mask, costs);
-            if cheri {
-                if rd_is_cap {
-                    self.write_meta(w, rd, &rm, mask, costs);
-                } else {
-                    self.write_meta_null(w, rd, mask, costs);
-                }
-            }
-        }
-        self.advance(w, sel, &next_pc, status_change);
-        Ok(())
-    }
-
-    /// Commit PC updates and status changes for the selected threads.
-    fn advance(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        next_pc: &[u32; MAX_LANES],
-        status_change: Option<ThreadStatus>,
-    ) {
-        let warp = &mut self.warps[w as usize];
-        for (i, &pc) in next_pc.iter().enumerate().take(self.cfg.lanes as usize) {
-            if sel.mask >> i & 1 == 1 {
-                warp.pc[i] = pc;
-                if let Some(s) = status_change {
-                    warp.status[i] = s;
-                }
-            }
-        }
-    }
-
-    fn sfu_suspend(&mut self, w: u32, sel: &Selection) {
-        self.stats.sfu_requests += 1;
-        let lat = self.cfg.timing.sfu_latency as u64 + sel.mask.count_ones() as u64;
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.emit(TraceEvent::Sfu {
-                cycle: self.cycle,
-                warp: w,
-                lanes: sel.mask.count_ones(),
-                latency: lat,
-            });
-        }
-        self.warps[w as usize].ready_at = self.cycle + lat;
-    }
-
-    /// Capability slow-path ops: SFU round-trip when offloaded (optimised
-    /// configuration), single-cycle per-lane logic otherwise.
-    fn cap_sfu_suspend(&mut self, w: u32, sel: &Selection) {
-        if self.opts.map(|o| o.sfu_cap_ops).unwrap_or(false) {
-            self.sfu_suspend(w, sel);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_cap_unary(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        op: UnaryCapOp,
-        _rd: Reg,
-        cs1: Reg,
-        r: &mut [u64; MAX_LANES],
-        rm: &mut [u64; MAX_LANES],
-        rd_is_cap: &mut bool,
-        costs: &mut Costs,
-    ) {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
-        let mut a = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-        let name = match op {
-            UnaryCapOp::GetTag => "CGetTag",
-            UnaryCapOp::ClearTag => "CClearTag",
-            UnaryCapOp::GetPerm => "CGetPerm",
-            UnaryCapOp::GetBase => "CGetBase",
-            UnaryCapOp::GetLen => "CGetLen",
-            UnaryCapOp::GetType => "CGetType",
-            UnaryCapOp::GetSealed => "CGetSealed",
-            UnaryCapOp::GetFlags => "CGetFlags",
-            UnaryCapOp::GetAddr => "CGetAddr",
-            UnaryCapOp::Move => "CMove",
-            UnaryCapOp::SealEntry => "CSealEntry",
-            UnaryCapOp::Crrl => "CRRL",
-            UnaryCapOp::Cram => "CRAM",
-        };
-        self.stats.count_cheri(name, 1);
-        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
-            let cap = Self::cap_of(am[i], a[i]);
-            match op {
-                UnaryCapOp::GetTag => r[i] = cap.tag() as u64,
-                UnaryCapOp::GetPerm => r[i] = cap.perms().bits() as u64,
-                UnaryCapOp::GetBase => r[i] = cap.base() as u64,
-                UnaryCapOp::GetLen => r[i] = cap.length().min(u32::MAX as u64),
-                UnaryCapOp::GetType => r[i] = cap.otype() as u64,
-                UnaryCapOp::GetSealed => r[i] = cap.is_sealed() as u64,
-                UnaryCapOp::GetFlags => r[i] = cap.flag() as u64,
-                UnaryCapOp::GetAddr => r[i] = cap.addr() as u64,
-                UnaryCapOp::Crrl => {
-                    r[i] = bounds::representable_length(a[i] as u32).min(u32::MAX as u64)
-                }
-                UnaryCapOp::Cram => r[i] = bounds::representable_alignment_mask(a[i] as u32) as u64,
-                UnaryCapOp::ClearTag => {
-                    (rm[i], r[i]) = Self::cap_parts(cap.clear_tag());
-                    *rd_is_cap = true;
-                }
-                UnaryCapOp::Move => {
-                    (rm[i], r[i]) = (am[i], a[i]);
-                    *rd_is_cap = true;
-                }
-                UnaryCapOp::SealEntry => {
-                    (rm[i], r[i]) = Self::cap_parts(cap.seal_entry());
-                    *rd_is_cap = true;
-                }
-            }
-        }
-        if matches!(
-            op,
-            UnaryCapOp::GetBase | UnaryCapOp::GetLen | UnaryCapOp::Crrl | UnaryCapOp::Cram
-        ) {
-            self.cap_sfu_suspend(w, sel);
-        }
-    }
-
-    // ---- Memory operations ----
-
-    #[allow(clippy::too_many_arguments)]
-    fn do_load_store(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        addr_reg: Reg,
-        load_rd: Option<Reg>,
-        store_rs: Reg,
-        off: i32,
-        bytes: u32,
-        is_store: bool,
-        is_cap: bool,
-        lw: LoadWidth,
-        costs: &mut Costs,
-    ) -> Result<(), RunError> {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
-        let cheri = self.cheri();
-        let mut addr = [0u64; MAX_LANES];
-        let mut addr_m = [NULL_META; MAX_LANES];
-        let mut val = [0u64; MAX_LANES];
-        let mut val_m = [NULL_META; MAX_LANES];
-        if cheri {
-            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
-        } else {
-            self.read_data(w, addr_reg, &mut addr, costs);
-        }
-        if is_store {
-            if is_cap && cheri {
-                self.read_cap_operand(w, store_rs, &mut val, &mut val_m, costs);
-            } else {
-                self.read_data(w, store_rs, &mut val, costs);
-            }
-        }
-
-        // Per-lane effective addresses + CHERI checks.
-        let mut eas = [0u32; MAX_LANES];
-        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
-            let ea = (addr[i] as u32).wrapping_add(off as u32);
-            eas[i] = ea;
-            if cheri {
-                let cap = Self::cap_of(addr_m[i], addr[i]);
-                if let Err(e) =
-                    cap.check_access(ea, AccessWidth::from_bytes(bytes), is_store, is_cap)
-                {
-                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                }
-            } else {
-                if let Some(t) = &self.bounds_table {
-                    match t.translate(ea, bytes) {
-                        Ok(real) => eas[i] = real,
-                        Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
-                    }
-                }
-                if eas[i] % bytes != 0 {
-                    return Err(self
-                        .trap(w, sel, i as u32, TrapCause::Mem(MemFault::Misaligned(eas[i])))
-                        .into());
-                }
-            }
-        }
-
-        // Functional access + request collection.
-        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
-        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
-        let mut results = [0u64; MAX_LANES];
-        let mut results_m = [NULL_META; MAX_LANES];
-        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
-            let ea = eas[i];
-            let region = map::route(ea, self.cfg.dram_size);
-            let req = LaneRequest { addr: ea, bytes };
-            let res: Result<(), MemFault> = (|| {
-                match (region, is_store, is_cap) {
-                    (map::Region::Dram, false, false) => {
-                        dram_reqs.push(req);
-                        results[i] = sign_extend(self.mem.read(ea, bytes)?, lw) as u64;
-                    }
-                    (map::Region::Dram, true, false) => {
-                        dram_reqs.push(req);
-                        self.mem.write(ea, val[i] as u32, bytes)?;
-                    }
-                    (map::Region::Dram, false, true) => {
-                        dram_reqs.push(req);
-                        let c = self.mem.read_cap(ea)?;
-                        results[i] = c.addr() as u64;
-                        results_m[i] = c.meta() as u64 | ((c.tag() as u64) << 32);
-                    }
-                    (map::Region::Dram, true, true) => {
-                        dram_reqs.push(req);
-                        let c = CapMem::from_parts(
-                            val_m[i] as u32,
-                            val[i] as u32,
-                            val_m[i] >> 32 & 1 == 1,
-                        );
-                        self.mem.write_cap(ea, c)?;
-                    }
-                    (map::Region::Scratch, false, false) => {
-                        scratch_reqs.push(req);
-                        results[i] = sign_extend(self.scratch.read(ea, bytes)?, lw) as u64;
-                    }
-                    (map::Region::Scratch, true, false) => {
-                        scratch_reqs.push(req);
-                        self.scratch.write(ea, val[i] as u32, bytes)?;
-                    }
-                    (map::Region::Scratch, false, true) => {
-                        scratch_reqs.push(req);
-                        let c = self.scratch.read_cap(ea)?;
-                        results[i] = c.addr() as u64;
-                        results_m[i] = c.meta() as u64 | ((c.tag() as u64) << 32);
-                    }
-                    (map::Region::Scratch, true, true) => {
-                        scratch_reqs.push(req);
-                        let c = CapMem::from_parts(
-                            val_m[i] as u32,
-                            val[i] as u32,
-                            val_m[i] >> 32 & 1 == 1,
-                        );
-                        self.scratch.write_cap(ea, c)?;
-                    }
-                    _ => return Err(MemFault::Unmapped(ea)),
-                }
-                Ok(())
-            })();
-            if let Err(f) = res {
-                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
-            }
-        }
-
-        // Timing.
-        self.charge_memory(w, &dram_reqs, &scratch_reqs, is_store);
-
-        // Writeback.
-        if let Some(rd) = load_rd {
-            self.write_data(w, rd, &results, mask, costs);
-            if cheri {
-                if is_cap {
-                    self.write_meta(w, rd, &results_m, mask, costs);
-                } else {
-                    self.write_meta_null(w, rd, mask, costs);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn do_amo(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        addr_reg: Reg,
-        rd: Reg,
-        op: simt_isa::AmoOp,
-        operands: &[u64; MAX_LANES],
-        costs: &mut Costs,
-    ) -> Result<(), RunError> {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
-        let cheri = self.cheri();
-        let mut addr = [0u64; MAX_LANES];
-        let mut addr_m = [NULL_META; MAX_LANES];
-        if cheri {
-            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
-        } else {
-            self.read_data(w, addr_reg, &mut addr, costs);
-        }
-        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
-        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
-        let mut results = [0u64; MAX_LANES];
-        // Lanes perform their RMW in lane order, which defines the intra-warp
-        // atomicity order.
-        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
-            let mut ea = addr[i] as u32;
-            if cheri {
-                let cap = Self::cap_of(addr_m[i], addr[i]);
-                // An AMO both loads and stores.
-                if let Err(e) = cap
-                    .check_access(ea, AccessWidth::Word, false, false)
-                    .and_then(|_| cap.check_access(ea, AccessWidth::Word, true, false))
-                {
-                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                }
-            } else if let Some(t) = &self.bounds_table {
-                match t.translate(ea, 4) {
-                    Ok(real) => ea = real,
-                    Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
-                }
-            }
-            let req = LaneRequest { addr: ea, bytes: 4 };
-            let region = map::route(ea, self.cfg.dram_size);
-            let res: Result<(), MemFault> = (|| {
-                match region {
-                    map::Region::Dram => {
-                        dram_reqs.push(req);
-                        let old = self.mem.read(ea, 4)?;
-                        self.mem.write(ea, exec::amo(op, old, operands[i] as u32), 4)?;
-                        results[i] = old as u64;
-                    }
-                    map::Region::Scratch => {
-                        scratch_reqs.push(req);
-                        let old = self.scratch.read(ea, 4)?;
-                        self.scratch.write(ea, exec::amo(op, old, operands[i] as u32), 4)?;
-                        results[i] = old as u64;
-                    }
-                    _ => return Err(MemFault::Unmapped(ea)),
-                }
-                Ok(())
-            })();
-            if let Err(f) = res {
-                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
-            }
-        }
-        // An atomic is a read + write transaction per block.
-        self.charge_memory(w, &dram_reqs, &scratch_reqs, true);
-        if !dram_reqs.is_empty() || !scratch_reqs.is_empty() {
-            // Serialise conflicting atomics: lanes hitting the same word pay
-            // one cycle each (approximating SIMTight's atomic unit).
-            let mut addrs: Vec<u32> =
-                dram_reqs.iter().chain(&scratch_reqs).map(|r| r.addr).collect();
-            let total = addrs.len();
-            addrs.sort_unstable();
-            addrs.dedup();
-            let conflicts = (total - addrs.len()) as u64;
-            self.warps[w as usize].ready_at =
-                self.warps[w as usize].ready_at.max(self.cycle + conflicts);
-        }
-        self.write_data(w, rd, &results, mask, costs);
-        if cheri {
-            self.write_meta_null(w, rd, mask, costs);
-        }
-        Ok(())
-    }
-
-    /// Charge the timing/traffic of one warp-wide memory access and suspend
-    /// the warp until the data returns.
-    fn charge_memory(
-        &mut self,
-        w: u32,
-        dram_reqs: &[LaneRequest],
-        scratch_reqs: &[LaneRequest],
-        is_store: bool,
-    ) {
-        let mut done_at = self.cycle;
-        // Compressed stack cache (Section 4.4 proof of concept): a
-        // warp-uniform or affine access pattern — the shape of register
-        // spill traffic — is served from a small compressed cache instead
-        // of DRAM.
-        let in_stack = |r: &LaneRequest| {
-            self.stack_region.map(|(b, sz)| r.addr >= b && r.addr < b + sz).unwrap_or(false)
-        };
-        let dram_reqs: &[LaneRequest] = if self.cfg.stack_cache
-            && dram_reqs.len() > 1
-            && dram_reqs.iter().all(in_stack)
-            && is_affine(dram_reqs)
-        {
-            self.stats.stack_cache_hits += 1;
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.emit(TraceEvent::Mem {
-                    cycle: self.cycle,
-                    warp: w,
-                    space: MemSpace::StackCache,
-                    is_store,
-                    lanes: dram_reqs.len() as u32,
-                    transactions: 0,
-                    uniform: dram_reqs.iter().all(|r| r.addr == dram_reqs[0].addr),
-                    conflict_cycles: 0,
-                });
-            }
-            done_at = done_at.max(self.cycle + 2);
-            &[]
-        } else {
-            dram_reqs
-        };
-        if !dram_reqs.is_empty() {
-            let co = match self.sink.as_deref_mut() {
-                Some(sink) => {
-                    self.coalescer.coalesce_traced(dram_reqs, self.cycle, w, is_store, sink)
-                }
-                None => self.coalescer.coalesce(dram_reqs),
-            };
-            // Tag controller: one lookup per unique 64-byte block.
-            let mut blocks: Vec<u32> = dram_reqs.iter().map(|r| r.addr / 64).collect();
-            blocks.sort_unstable();
-            blocks.dedup();
-            let mut tag_txns = 0;
-            for b in &blocks {
-                tag_txns += match self.sink.as_deref_mut() {
-                    Some(sink) => self.tags.on_access_traced(b * 64, is_store, self.cycle, w, sink),
-                    None => self.tags.on_access(b * 64, is_store),
-                };
-            }
-            let (reads, writes) =
-                if is_store { (0, co.transactions) } else { (co.transactions, 0) };
-            done_at = done_at.max(match self.sink.as_deref_mut() {
-                Some(sink) => self.dram.access_traced(self.cycle, reads, writes, tag_txns, w, sink),
-                None => self.dram.access(self.cycle, reads, writes, tag_txns),
-            });
-        }
-        if !scratch_reqs.is_empty() {
-            let cycles = match self.sink.as_deref_mut() {
-                Some(sink) => {
-                    self.scratch.warp_cycles_traced(scratch_reqs, self.cycle, w, is_store, sink)
-                }
-                None => self.scratch.warp_cycles(scratch_reqs),
-            };
-            done_at = done_at.max(self.cycle + (self.cfg.timing.scratch_latency + cycles) as u64);
-        }
-        let warp = &mut self.warps[w as usize];
-        warp.ready_at = warp.ready_at.max(done_at);
-    }
-
     /// Read back the statistics of the last completed run.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
-    }
-}
-
-/// Do the lane addresses form a uniform or affine sequence?
-fn is_affine(reqs: &[LaneRequest]) -> bool {
-    if reqs.len() < 2 {
-        return true;
-    }
-    let stride = reqs[1].addr.wrapping_sub(reqs[0].addr);
-    reqs.windows(2).all(|w| w[1].addr.wrapping_sub(w[0].addr) == stride)
-}
-
-fn sign_extend(v: u32, lw: LoadWidth) -> u32 {
-    match lw {
-        LoadWidth::B => v as u8 as i8 as i32 as u32,
-        LoadWidth::H => v as u16 as i16 as i32 as u32,
-        _ => v,
     }
 }

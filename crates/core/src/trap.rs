@@ -64,10 +64,20 @@ impl std::error::Error for Trap {}
 pub enum RunError {
     /// A thread trapped.
     Trap(Trap),
-    /// The watchdog expired (likely a deadlock or runaway kernel).
+    /// The watchdog expired (a runaway kernel).
     Timeout {
         /// Cycles simulated before giving up.
         cycles: u64,
+    },
+    /// Barrier deadlock: every live warp is parked at a barrier, but no
+    /// block can release — e.g. a barrier reached by only part of a block
+    /// whose other warps already terminated. Detected the moment progress
+    /// becomes impossible, not when the watchdog expires.
+    Deadlock {
+        /// Cycles simulated when the deadlock was detected.
+        cycles: u64,
+        /// Warps parked at a barrier at that point.
+        blocked_warps: u32,
     },
 }
 
@@ -76,6 +86,10 @@ impl fmt::Display for RunError {
         match self {
             RunError::Trap(t) => t.fmt(f),
             RunError::Timeout { cycles } => write!(f, "watchdog timeout after {cycles} cycles"),
+            RunError::Deadlock { cycles, blocked_warps } => write!(
+                f,
+                "barrier deadlock after {cycles} cycles ({blocked_warps} warp(s) parked at a barrier that can never release)"
+            ),
         }
     }
 }

@@ -64,6 +64,7 @@ fn imm_j(w: u32) -> i32 {
 
 impl Instr {
     /// Decode a 32-bit instruction word; `None` for unimplemented encodings.
+    #[allow(clippy::too_many_lines)] // one match arm per opcode, by design
     pub fn decode(w: u32) -> Option<Instr> {
         use Instr::*;
         Some(match w & 0x7F {

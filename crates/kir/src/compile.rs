@@ -33,12 +33,22 @@ pub struct MemPlan {
     pub stack_top: u32,
     /// Bytes of stack per thread (a power of two).
     pub stack_size: u32,
+    /// Streaming multiprocessors on the target device. With more than one,
+    /// the prologue localises the shared-memory partition index (global
+    /// block indices span SMs, scratchpads do not); with exactly one the
+    /// generated code is byte-identical to the classic single-SM output.
+    pub sms: u32,
 }
 
 impl Default for MemPlan {
     fn default() -> Self {
         let usable = map::DRAM_DEFAULT_SIZE - map::tag_region_bytes(map::DRAM_DEFAULT_SIZE);
-        MemPlan { arg_base: map::DRAM_BASE, stack_top: map::DRAM_BASE + usable, stack_size: 512 }
+        MemPlan {
+            arg_base: map::DRAM_BASE,
+            stack_top: map::DRAM_BASE + usable,
+            stack_size: 512,
+            sms: 1,
+        }
     }
 }
 
@@ -570,6 +580,7 @@ impl<'k> Codegen<'k> {
 
     // ---- Prologue ----
 
+    #[allow(clippy::too_many_lines)] // straight-line hart-setup sequence
     fn prologue(&mut self) -> Result<(), CompileError> {
         let t0 = self.temp()?;
         let t1 = self.temp()?;
@@ -659,9 +670,41 @@ impl<'k> Codegen<'k> {
         // at its aligned offset, bounded per-array under CHERI.
         if !self.k.shared.is_empty() {
             let sh_bytes = self.k.shared_bytes();
+            // On a multi-SM device block indices are global but scratchpads
+            // are per-SM: fold the block index into this SM's partition
+            // range first. localBlocksPerSm = blocksPerDevice / sms, and
+            // localBlock = blockIdx % localBlocksPerSm is stable across
+            // grid-stride iterations (the stride is a multiple of it).
+            let local = if self.plan.sms > 1 {
+                let lb = self.temp()?;
+                self.asm.li(lb, self.plan.sms);
+                self.asm.push(Instr::MulDiv {
+                    op: MulOp::Divu,
+                    rd: lb,
+                    rs1: self.r_blocks_per_sm,
+                    rs2: lb,
+                });
+                self.asm.push(Instr::MulDiv {
+                    op: MulOp::Remu,
+                    rd: lb,
+                    rs1: self.r_block_idx,
+                    rs2: lb,
+                });
+                Some(lb)
+            } else {
+                None
+            };
             // t1 = blockIdx(local) * shared_bytes
             self.asm.li(t1, sh_bytes);
-            self.asm.push(Instr::MulDiv { op: MulOp::Mul, rd: t1, rs1: self.r_block_idx, rs2: t1 });
+            self.asm.push(Instr::MulDiv {
+                op: MulOp::Mul,
+                rd: t1,
+                rs1: local.unwrap_or(self.r_block_idx),
+                rs2: t1,
+            });
+            if let Some(lb) = local {
+                self.free.push(lb);
+            }
             let base = if self.purecap() { self.cap_scratch()? } else { self.temp()? };
             if self.purecap() {
                 self.asm.push(Instr::CSpecialRw { cd: base, cs1: ZERO, scr: scr::SHARED });

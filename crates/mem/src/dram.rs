@@ -36,6 +36,12 @@ pub struct DramStats {
     pub tag_transactions: u64,
     /// Cycles the channel was occupied.
     pub busy_cycles: u64,
+    /// Accesses where the channel ownership changed between SMs (always 0
+    /// on a single-SM device).
+    pub cross_sm_switches: u64,
+    /// Queueing cycles paid at those ownership switches — channel time one
+    /// SM spent waiting behind another SM's in-flight transactions.
+    pub cross_sm_wait_cycles: u64,
 }
 
 impl DramStats {
@@ -53,17 +59,28 @@ pub struct Dram {
     stats: DramStats,
     /// Cycle at which the channel becomes free.
     free_at: u64,
+    /// SM currently driving the channel (set by the device arbiter).
+    accessor: u32,
+    /// SM that issued the previous non-empty batch.
+    last_accessor: Option<u32>,
 }
 
 impl Dram {
     /// Create a channel with the given parameters.
     pub fn new(cfg: DramConfig) -> Self {
-        Dram { cfg, stats: DramStats::default(), free_at: 0 }
+        Dram { cfg, stats: DramStats::default(), free_at: 0, accessor: 0, last_accessor: None }
     }
 
     /// The configured parameters.
     pub fn config(&self) -> DramConfig {
         self.cfg
+    }
+
+    /// Tell the channel which SM is driving it from now on (device arbiter
+    /// hook). Subsequent accesses from a *different* SM than the previous
+    /// batch count towards the cross-SM contention statistics.
+    pub fn set_accessor(&mut self, sm: u32) {
+        self.accessor = sm;
     }
 
     /// Cumulative traffic statistics.
@@ -75,6 +92,7 @@ impl Dram {
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
         self.free_at = 0;
+        self.last_accessor = None;
     }
 
     /// Issue `n` transactions at time `now`; returns the cycle at which the
@@ -84,6 +102,13 @@ impl Dram {
         if n == 0 {
             return now;
         }
+        if let Some(prev) = self.last_accessor {
+            if prev != self.accessor {
+                self.stats.cross_sm_switches += 1;
+                self.stats.cross_sm_wait_cycles += self.free_at.saturating_sub(now);
+            }
+        }
+        self.last_accessor = Some(self.accessor);
         self.stats.read_transactions += reads as u64;
         self.stats.write_transactions += writes as u64;
         self.stats.tag_transactions += tag_txns as u64;

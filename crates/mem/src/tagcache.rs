@@ -33,6 +33,12 @@ pub struct TagCacheStats {
     pub misses: u64,
     /// Dirty evictions (each costs a DRAM tag write-back transaction).
     pub writebacks: u64,
+    /// Lookups where line ownership changed between SMs (always 0 on a
+    /// single-SM device).
+    pub cross_sm_switches: u64,
+    /// Misses that evicted a line last filled by a *different* SM —
+    /// capacity the SMs of a shared device steal from each other.
+    pub cross_sm_conflict_evictions: u64,
 }
 
 impl TagCacheStats {
@@ -55,7 +61,13 @@ pub struct TagCache {
     /// Per line: the cached tag-region block index, or `u64::MAX` if empty,
     /// plus a dirty bit.
     lines: Vec<(u64, bool)>,
+    /// Per line: the SM that last filled it (cross-SM conflict accounting).
+    owners: Vec<u32>,
     stats: TagCacheStats,
+    /// SM currently driving the controller (set by the device arbiter).
+    accessor: u32,
+    /// SM that issued the previous lookup.
+    last_accessor: Option<u32>,
 }
 
 impl TagCache {
@@ -64,7 +76,10 @@ impl TagCache {
         TagCache {
             cfg,
             lines: vec![(u64::MAX, false); cfg.lines as usize],
+            owners: vec![0; cfg.lines as usize],
             stats: TagCacheStats::default(),
+            accessor: 0,
+            last_accessor: None,
         }
     }
 
@@ -73,12 +88,21 @@ impl TagCache {
         self.stats
     }
 
+    /// Tell the cache which SM is driving it from now on (device arbiter
+    /// hook). Lookups evicting a line filled by a different SM count as
+    /// cross-SM conflict evictions.
+    pub fn set_accessor(&mut self, sm: u32) {
+        self.accessor = sm;
+    }
+
     /// Reset statistics and contents.
     pub fn reset(&mut self) {
         self.stats = TagCacheStats::default();
         for l in &mut self.lines {
             *l = (u64::MAX, false);
         }
+        self.owners.fill(0);
+        self.last_accessor = None;
     }
 
     /// Data bytes covered by one line.
@@ -90,6 +114,12 @@ impl TagCache {
     /// number of DRAM tag transactions this lookup generated (0 on hit,
     /// 1 on clean miss, 2 on dirty miss). `write` marks the line dirty.
     pub fn lookup(&mut self, addr: u32, write: bool) -> u32 {
+        if let Some(prev) = self.last_accessor {
+            if prev != self.accessor {
+                self.stats.cross_sm_switches += 1;
+            }
+        }
+        self.last_accessor = Some(self.accessor);
         let block = addr as u64 / self.data_bytes_per_line() as u64;
         let idx = (block % self.cfg.lines as u64) as usize;
         let (tagged_block, dirty) = self.lines[idx];
@@ -104,7 +134,11 @@ impl TagCache {
                 self.stats.writebacks += 1;
                 txns += 1;
             }
+            if tagged_block != u64::MAX && self.owners[idx] != self.accessor {
+                self.stats.cross_sm_conflict_evictions += 1;
+            }
             self.lines[idx] = (block, write);
+            self.owners[idx] = self.accessor;
             txns
         }
     }
@@ -127,6 +161,11 @@ impl TagController {
     /// Is tagged memory enabled?
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Tell the controller which SM is driving it (device arbiter hook).
+    pub fn set_accessor(&mut self, sm: u32) {
+        self.cache.set_accessor(sm);
     }
 
     /// Tag-cache statistics.

@@ -11,7 +11,7 @@ pub enum LaunchError {
     Compile(CompileError),
     /// The launch configuration is invalid.
     Config(String),
-    /// The kernel trapped or timed out.
+    /// The kernel trapped, dead-locked at a barrier, or timed out.
     Run(RunError),
 }
 

@@ -1,7 +1,8 @@
 //! NoCL host runtime: buffers, argument marshalling, kernel launch.
 //!
 //! This crate plays the role of the NoCL library's host side (and of the
-//! CHERI-enabled host CPU of Figure 9): it owns the SM, allocates device
+//! CHERI-enabled host CPU of Figure 9): it owns the device (one or more SMs
+//! sharing a memory subsystem — see [`Gpu::with_sms`]), allocates device
 //! buffers in simulated DRAM, marshals kernel arguments — *as tagged, bounded
 //! capabilities* in pure-capability mode — and launches compiled kernels.
 //!
@@ -47,7 +48,7 @@ pub use buffer::{Buffer, DeviceScalar};
 pub use error::LaunchError;
 
 use cheri_cap::{CapPipe, Perms};
-use cheri_simt::{KernelStats, Sm, SmConfig};
+use cheri_simt::{Device, KernelStats, Sm, SmConfig};
 use nocl_kir::{compile_capped, ArgSlot, CompiledKernel, Kernel, MemPlan, Mode};
 use simt_isa::scr;
 use simt_mem::map;
@@ -111,10 +112,11 @@ impl<T: DeviceScalar> From<&Buffer<T>> for Arg {
     }
 }
 
-/// The GPU: an SM plus host-side memory management.
+/// The GPU: a [`Device`] of one or more SMs plus host-side memory
+/// management.
 #[derive(Debug)]
 pub struct Gpu {
-    sm: Sm,
+    device: Device,
     mode: Mode,
     plan: MemPlan,
     heap: u32,
@@ -124,31 +126,46 @@ pub struct Gpu {
 }
 
 impl Gpu {
-    /// Create a GPU. The SM's CHERI mode must agree with the compilation
-    /// mode (`PureCap` needs CHERI; the other modes must run without it so
-    /// the baseline is honest).
+    /// Create a single-SM GPU. The SM's CHERI mode must agree with the
+    /// compilation mode (`PureCap` needs CHERI; the other modes must run
+    /// without it so the baseline is honest).
     ///
     /// # Panics
     ///
     /// Panics on a mode/configuration mismatch.
     pub fn new(cfg: SmConfig, mode: Mode) -> Gpu {
+        Gpu::with_sms(cfg, mode, 1)
+    }
+
+    /// Create a GPU with `sms` streaming multiprocessors sharing one DRAM
+    /// channel and tag controller. Each SM gets its own `stack_size ×
+    /// threads` slice of the stack arena, and the grid-stride prologue
+    /// splits the grid across SMs by global hart id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mode/configuration mismatch, `sms == 0`, or a DRAM too
+    /// small for the scaled stack arena.
+    pub fn with_sms(cfg: SmConfig, mode: Mode, sms: u32) -> Gpu {
         assert_eq!(
             cfg.cheri.enabled(),
             mode.needs_cheri(),
             "SM CHERI mode must match the compilation mode"
         );
+        assert!(sms >= 1, "a GPU needs at least one SM");
         let usable = cfg.dram_size - map::tag_region_bytes(cfg.dram_size);
         let plan = MemPlan {
             arg_base: map::DRAM_BASE,
             stack_top: map::DRAM_BASE + usable,
             stack_size: 512,
+            sms,
         };
-        let stack_arena = cfg.threads() * plan.stack_size;
+        let stack_arena = sms * cfg.threads() * plan.stack_size;
         let heap = map::DRAM_BASE + 4096; // first page: argument block
         let heap_end = plan.stack_top - stack_arena;
         assert!(heap < heap_end, "DRAM too small for stacks");
         Gpu {
-            sm: Sm::new(cfg),
+            device: Device::new(cfg, sms),
             mode,
             plan,
             heap,
@@ -174,14 +191,26 @@ impl Gpu {
         self.mode
     }
 
-    /// The underlying SM (e.g. for reading statistics or memory).
-    pub fn sm(&self) -> &Sm {
-        &self.sm
+    /// The underlying device (e.g. for per-SM statistics or tracing).
+    pub fn device(&self) -> &Device {
+        &self.device
     }
 
-    /// Mutable access to the underlying SM.
+    /// Mutable access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// SM 0 (e.g. for reading statistics). On a multi-SM GPU this SM's own
+    /// `memory()` is a parked stub — use [`Gpu::device`] +
+    /// [`Device::memory`] for the real DRAM contents.
+    pub fn sm(&self) -> &Sm {
+        self.device.sm(0)
+    }
+
+    /// Mutable access to SM 0 (see [`Gpu::sm`] for the multi-SM caveat).
     pub fn sm_mut(&mut self) -> &mut Sm {
-        &mut self.sm
+        self.device.sm_mut(0)
     }
 
     /// Bytes of device heap remaining.
@@ -219,7 +248,7 @@ impl Gpu {
     /// Returns the number of revoked capabilities. A no-op outside
     /// pure-capability mode (there are no tags to sweep).
     pub fn free<T: DeviceScalar>(&mut self, buf: Buffer<T>) -> u32 {
-        self.sm.memory_mut().revoke_region(buf.addr(), buf.bytes())
+        self.device.memory_mut().revoke_region(buf.addr(), buf.bytes())
     }
 
     /// Copy host data into a buffer.
@@ -233,13 +262,13 @@ impl Gpu {
         for v in data {
             v.extend_bytes(&mut bytes);
         }
-        self.sm.memory_mut().write_bytes(buf.addr(), &bytes);
+        self.device.memory_mut().write_bytes(buf.addr(), &bytes);
     }
 
     /// Read a buffer back to the host.
     pub fn read<T: DeviceScalar>(&self, buf: &Buffer<T>) -> Vec<T> {
         let sz = T::ELEM.bytes();
-        let bytes = self.sm.memory().read_bytes(buf.addr(), buf.len() * sz);
+        let bytes = self.device.memory().read_bytes(buf.addr(), buf.len() * sz);
         bytes.chunks_exact(sz as usize).map(T::from_bytes).collect()
     }
 
@@ -255,7 +284,7 @@ impl Gpu {
         launch: Launch,
         args: &[Arg],
     ) -> Result<KernelStats, LaunchError> {
-        let cfg = *self.sm.config();
+        let cfg = *self.device.config();
         let lanes = cfg.lanes;
         if launch.grid_dim == 0 || launch.block_dim == 0 {
             return Err(LaunchError::Config("grid and block must be non-empty".into()));
@@ -322,10 +351,10 @@ impl Gpu {
                     ids[i] = regions.len() as u32;
                 }
             }
-            self.sm.set_bounds_table(Some(cheri_simt::shield::BoundsTable::new(regions)));
+            self.device.set_bounds_table(Some(cheri_simt::shield::BoundsTable::new(regions)));
             ids
         } else {
-            self.sm.set_bounds_table(None);
+            self.device.set_bounds_table(None);
             vec![0; args.len()]
         };
 
@@ -339,19 +368,19 @@ impl Gpu {
                     CapPipe::almighty().and_perm(Perms::data()).set_addr(base).set_bounds(len);
                 c.to_mem()
             };
-            self.sm.set_scr(scr::ARG, data(self.plan.arg_base, compiled.layout.size));
-            let stack_arena = cfg.threads() * self.plan.stack_size;
-            self.sm.set_scr(scr::STACK, data(self.plan.stack_top - stack_arena, stack_arena));
-            self.sm.set_scr(scr::SHARED, data(map::SCRATCH_BASE, map::SCRATCH_SIZE));
-            self.sm.set_scr(scr::GLOBAL, CapPipe::almighty().and_perm(Perms::data()).to_mem());
+            self.device.set_scr(scr::ARG, data(self.plan.arg_base, compiled.layout.size));
+            let stack_arena = self.plan.sms * cfg.threads() * self.plan.stack_size;
+            self.device.set_scr(scr::STACK, data(self.plan.stack_top - stack_arena, stack_arena));
+            self.device.set_scr(scr::SHARED, data(map::SCRATCH_BASE, map::SCRATCH_SIZE));
+            self.device.set_scr(scr::GLOBAL, CapPipe::almighty().and_perm(Perms::data()).to_mem());
         }
 
-        self.sm.load_program(&compiled.words);
-        let stack_arena = cfg.threads() * self.plan.stack_size;
-        self.sm.set_stack_region(self.plan.stack_top - stack_arena, stack_arena);
-        self.sm.set_block_warps((launch.block_dim / lanes).max(1));
-        self.sm.reset();
-        Ok(self.sm.run(launch.max_cycles)?)
+        self.device.load_program(&compiled.words);
+        let stack_arena = self.plan.sms * cfg.threads() * self.plan.stack_size;
+        self.device.set_stack_region(self.plan.stack_top - stack_arena, stack_arena);
+        self.device.set_block_warps((launch.block_dim / lanes).max(1));
+        self.device.reset();
+        Ok(self.device.run(launch.max_cycles)?)
     }
 
     fn write_args(
@@ -362,7 +391,7 @@ impl Gpu {
         shield_ids: &[u32],
     ) -> Result<(), LaunchError> {
         let base = self.plan.arg_base;
-        let mem = self.sm.memory_mut();
+        let mem = self.device.memory_mut();
         mem.write(base, launch.grid_dim, 4).expect("arg block in DRAM");
         mem.write(base + 4, launch.block_dim, 4).expect("arg block in DRAM");
         for (i, (slot, arg)) in compiled.layout.slots.iter().zip(args).enumerate() {

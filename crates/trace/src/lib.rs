@@ -15,8 +15,8 @@
 //! * [`VecSink`] — unbounded, retains every event; used by the `repro trace`
 //!   exporter where the full stream is needed.
 //! * [`RingSink`] — bounded ring buffer that overwrites the *oldest* events
-//!   once full and counts how many were dropped; the structured replacement
-//!   for the legacy `Sm::enable_trace` ring.
+//!   once full and counts how many were dropped; the flight-recorder sink
+//!   (the structured successor of the removed `Sm::enable_trace` ring).
 //!
 //! Exporters for JSON-lines and the Chrome trace-event format (viewable in
 //! Perfetto or `chrome://tracing`) live in [`export`]; a dependency-free JSON
