@@ -1,10 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! usage: repro [--quick] [--jobs N] [--sms N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|all]
+//! usage: repro [--quick] [--jobs N] [--sms N] [table1|table2|table3|fig6..fig15|ablate|multism|vrfsweep|tagsweep|scalarise|all]
 //!        repro disasm <benchmark> <mode>
 //!        repro trace <benchmark|all> [--mode M] [--format chrome|jsonl] [--trace-out FILE] [--paper] [--sms N]
 //!        repro validate-trace <file>
+//!        repro perf [benchmark|all] [--paper] [--jobs N] [--sms N] [--perf-out FILE]
+//!        repro validate-perf <file>
 //! ```
 //!
 //! Without `--quick`, experiments run at the paper's geometry (64 warps ×
@@ -28,12 +30,20 @@
 //! default `--format chrome` opens directly in [Perfetto]; `--mode`
 //! defaults to `purecap`. See `docs/TRACING.md` for the schema.
 //!
+//! `perf` times the **simulator itself**: wall-clock seconds per
+//! (benchmark × configuration) cell across the five tracked
+//! configurations, written as `BENCH_sim.json` (`--perf-out FILE`,
+//! default `BENCH_sim.json`). Like `trace` it defaults to the quick
+//! geometry with `--paper` as the opt-in. `validate-perf` checks a
+//! `BENCH_sim.json` against the schema (the CI smoke step).
+//!
 //! [Perfetto]: https://ui.perfetto.dev
 
 use repro::{
     ablate, default_jobs, disasm, export_runs, fig10, fig11, fig12, fig13, fig14, fig15, fig6,
-    fig7, multism, resolve_benches, table1, table2, table3, tagsweep, trace_config, trace_suite_on,
-    trace_summary, vrfsweep, Geometry, Harness, TraceFormat,
+    fig7, multism, perf_json, perf_suite, perf_summary, resolve_benches, scalarise, table1, table2,
+    table3, tagsweep, trace_config, trace_suite_on, trace_summary, validate_perf_json, vrfsweep,
+    Geometry, Harness, TraceFormat,
 };
 
 #[allow(clippy::too_many_lines)] // flag parsing + subcommand dispatch
@@ -46,6 +56,7 @@ fn main() {
     let mut mode_name = String::from("purecap");
     let mut format_name = String::from("chrome");
     let mut trace_out: Option<String> = None;
+    let mut perf_out = String::from("BENCH_sim.json");
     let mut what: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +95,8 @@ fn main() {
             format_name = v;
         } else if let Some(v) = take("--trace-out") {
             trace_out = Some(v);
+        } else if let Some(v) = take("--perf-out") {
+            perf_out = v;
         } else {
             match a.as_str() {
                 "--quick" => quick = true,
@@ -184,6 +197,69 @@ fn main() {
         return;
     }
 
+    // Simulator wall-clock tracking: repro perf [benchmark|all] [--paper]
+    // [--perf-out FILE]. Emits BENCH_sim.json.
+    if what.first() == Some(&"perf") {
+        let bench = match what.as_slice() {
+            [_] => "all",
+            [_, bench] => *bench,
+            _ => {
+                eprintln!(
+                    "usage: repro perf [benchmark|all] [--paper] [--jobs N] [--sms N] [--perf-out FILE]"
+                );
+                std::process::exit(2);
+            }
+        };
+        let run = || -> Result<(), String> {
+            let benches = resolve_benches(bench)?;
+            let geometry = if paper { Geometry::Full } else { Geometry::Small };
+            eprintln!(
+                "[repro] timing {} benchmark(s) x {} config(s) on {jobs} worker(s), {sms} SM(s) ...",
+                benches.len(),
+                repro::PERF_CONFIGS.len()
+            );
+            let report = perf_suite(&benches, geometry, jobs, sms)?;
+            eprint!("{}", perf_summary(&report));
+            let out = perf_json(&report);
+            std::fs::write(&perf_out, &out).map_err(|e| format!("writing {perf_out}: {e}"))?;
+            eprintln!("[repro] wrote {} bytes to {perf_out}", out.len());
+            Ok(())
+        };
+        if let Err(e) = run() {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    // Schema validation: repro validate-perf <file> — the CI smoke check.
+    if what.first() == Some(&"validate-perf") {
+        match what.as_slice() {
+            [_, file] => {
+                let input = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                    eprintln!("reading {file}: {e}");
+                    std::process::exit(2);
+                });
+                match validate_perf_json(&input) {
+                    Ok((cells, total)) => {
+                        println!(
+                            "{file}: valid BENCH_sim.json — {cells} cell(s), {total:.3} s total"
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("{file}: INVALID — {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("usage: repro validate-perf <file>");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let mut h = if quick { Harness::quick() } else { Harness::paper() }
         .verbose()
         .with_jobs(jobs)
@@ -206,6 +282,7 @@ fn main() {
             "multism" => multism(&mut h),
             "vrfsweep" => vrfsweep(&mut h),
             "tagsweep" => tagsweep(&mut h),
+            "scalarise" => scalarise(&mut h),
             "all" => {
                 let mut s = String::new();
                 for f in [

@@ -9,10 +9,14 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod perf;
 mod runner;
 mod trace;
 
 pub use experiments::*;
+pub use perf::{
+    perf_json, perf_suite, perf_summary, validate_perf_json, PerfCell, PerfReport, PERF_CONFIGS,
+};
 pub use runner::{default_jobs, run_indexed, run_suite_parallel, run_suite_parallel_on, CellError};
 pub use trace::{
     export_runs, reconcile, resolve_benches, trace_config, trace_suite, trace_suite_on,

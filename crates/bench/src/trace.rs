@@ -203,15 +203,17 @@ pub fn reconcile(events: &[TraceEvent], stats: &KernelStats) -> Result<(), Strin
         }
     };
     let (mut issues, mut threads, mut arrivals, mut sfu) = (0u64, 0u64, 0u64, 0u64);
+    let mut scalarised = 0u64;
     let (mut tag_lookups, mut tag_hits, mut tag_writebacks) = (0u64, 0u64, 0u64);
     let (mut dram_reads, mut dram_writes, mut dram_tags) = (0u64, 0u64, 0u64);
     let (mut scratch_accesses, mut scratch_conflicts, mut stack_hits) = (0u64, 0u64, 0u64);
     let (mut csc, mut vrf, mut spill, mut flit, mut idle) = (0u64, 0u64, 0u64, 0u64, 0u64);
     for e in events {
         match *e {
-            TraceEvent::Issue { mask, .. } => {
+            TraceEvent::Issue { mask, class, .. } => {
                 issues += 1;
                 threads += u64::from(mask.count_ones());
+                scalarised += u64::from(class == cheri_simt::trace::IssueClass::Scalarised);
             }
             TraceEvent::Barrier { release: false, .. } => arrivals += 1,
             TraceEvent::Sfu { .. } => sfu += 1,
@@ -247,6 +249,7 @@ pub fn reconcile(events: &[TraceEvent], stats: &KernelStats) -> Result<(), Strin
     }
     check("issue events vs instrs", issues, stats.instrs)?;
     check("issue mask popcounts vs thread_instrs", threads, stats.thread_instrs)?;
+    check("scalarised issue events vs scalarised_issues", scalarised, stats.scalarised_issues)?;
     check("barrier arrivals vs barriers", arrivals, stats.barriers)?;
     check("sfu events vs sfu_requests", sfu, stats.sfu_requests)?;
     check(

@@ -136,6 +136,15 @@ pub struct KernelStats {
     /// the Section-4.4 proof-of-concept feature is enabled; `repro ablate`
     /// reports its effect).
     pub stack_cache_hits: u64,
+    /// Warp-instructions the execute stage ran once per warp over compact
+    /// (uniform/affine) operands instead of lane by lane — the dynamic
+    /// scalarisation rate of Section 2.3's scalarising register file,
+    /// reported by `repro scalarise`. Equals the number of `issue` events
+    /// whose `class` is `scalarised` in a structured trace; the remaining
+    /// `instrs - scalarised_issues` issues carry `per_lane`. Timing-neutral:
+    /// the fast path is bit-identical to the lane-wise one, so this counter
+    /// never changes any other statistic.
+    pub scalarised_issues: u64,
 }
 
 impl KernelStats {
@@ -224,6 +233,7 @@ impl KernelStats {
         self.sfu_requests += other.sfu_requests;
         self.barriers += other.barriers;
         self.stack_cache_hits += other.stack_cache_hits;
+        self.scalarised_issues += other.scalarised_issues;
     }
 }
 

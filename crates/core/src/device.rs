@@ -274,6 +274,7 @@ impl Device {
             out.cycles = out.cycles.max(s.cycles);
             out.instrs += s.instrs;
             out.thread_instrs += s.thread_instrs;
+            out.scalarised_issues += s.scalarised_issues;
             for (k, v) in &s.cheri_histogram {
                 *out.cheri_histogram.entry(k).or_insert(0) += v;
             }

@@ -1,0 +1,374 @@
+//! Capability op class: unary capability queries/moves, capability
+//! arithmetic (pointer-shaped ops of Section 3), and SCR access — with
+//! their `cheri_histogram` attribution and the SFU offload of the cold
+//! bounds-setting ops (Section 3.3).
+//!
+//! The scalarised fast path runs when the whole capability operand (data
+//! *and* metadata) is warp-uniform: one capability computation stands for
+//! every lane, and the result is committed compactly.
+
+use super::scalar::expect_uniform;
+use super::Costs;
+use crate::sm::Sm;
+use crate::warp::Selection;
+use cheri_cap::{bounds, CapPipe, Perms};
+use simt_isa::{scr, Instr, Reg, UnaryCapOp};
+use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
+
+impl Sm {
+    /// Execute one capability-class instruction (always writes `rd`, never
+    /// traps, sequential PC).
+    pub(crate) fn exec_cap_class(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        fast: bool,
+        costs: &mut Costs,
+    ) {
+        if fast {
+            self.exec_cap_fast(w, sel, instr, costs);
+        } else {
+            self.exec_cap_lanewise(w, sel, instr, costs);
+        }
+        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+    }
+
+    /// The lane-wise reference path.
+    fn exec_cap_lanewise(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let mut a = [0u64; MAX_LANES];
+        let mut b = [0u64; MAX_LANES];
+        let mut am = [NULL_META; MAX_LANES];
+        let mut r = [0u64; MAX_LANES];
+        let mut rm = [NULL_META; MAX_LANES];
+        let mut rd_is_cap = false;
+
+        macro_rules! active {
+            () => {
+                (0..lanes).filter(|i| mask >> i & 1 == 1)
+            };
+        }
+
+        let rd = match instr {
+            Instr::CapUnary { op, rd, cs1 } => {
+                self.exec_cap_unary(w, sel, op, rd, cs1, &mut r, &mut rm, &mut rd_is_cap, costs);
+                rd
+            }
+            Instr::CAndPerm { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CAndPerm", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).and_perm(Perms::from_bits(b[i] as u16));
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSetFlags { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CSetFlags", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).set_flags(b[i] & 1 == 1);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSetAddr { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CSetAddr", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).set_addr(b[i] as u32);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CIncOffset { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CIncOffset", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).inc_offset(b[i] as u32);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CIncOffsetImm { cd, cs1, imm } => {
+                self.stats.count_cheri("CIncOffsetImm", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).inc_offset(imm as u32);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSetBounds { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CSetBounds", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(b[i] as u32);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                self.cap_sfu_suspend(w, sel);
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSetBoundsExact { cd, cs1, rs2 } => {
+                self.stats.count_cheri("CSetBoundsExact", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]).set_bounds_exact(b[i] as u32);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                self.cap_sfu_suspend(w, sel);
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSetBoundsImm { cd, cs1, imm } => {
+                self.stats.count_cheri("CSetBoundsImm", 1);
+                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                for i in active!() {
+                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(imm);
+                    (rm[i], r[i]) = Self::cap_parts(cap);
+                }
+                self.cap_sfu_suspend(w, sel);
+                rd_is_cap = true;
+                cd
+            }
+            Instr::CSpecialRw { cd, scr: s, .. } => {
+                self.stats.count_cheri("CSpecialRW", 1);
+                let cap = self.scr_cap(sel, s);
+                let (m, d) = Self::cap_parts(cap);
+                r[..lanes].fill(d);
+                rm[..lanes].fill(m);
+                rd_is_cap = true;
+                cd
+            }
+            _ => unreachable!("not a capability-class instruction"),
+        };
+        self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+    }
+
+    /// The warp-wide fast path: one capability computation per warp.
+    fn exec_cap_fast(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let mask = sel.mask;
+        // Shape shared by the binary capability ops: histogram attribution,
+        // uniform capability (+ scalar) operands, one computation, compact
+        // cap-result commit. `CSetBounds*` additionally round-trip the SFU.
+        let mut binary = |sm: &mut Self,
+                          name: &'static str,
+                          cs1: Reg,
+                          rs2: Option<Reg>,
+                          cd: Reg,
+                          sfu: bool,
+                          f: &dyn Fn(CapPipe, u32) -> CapPipe| {
+            sm.stats.count_cheri(name, 1);
+            let (d, m) = sm.read_cap_compact(w, cs1, costs);
+            let b = match rs2 {
+                Some(reg) => expect_uniform(&sm.read_data_compact(w, reg, costs)),
+                None => 0,
+            };
+            let cap = f(Self::cap_of(expect_uniform(&m), expect_uniform(&d)), b as u32);
+            if sfu {
+                sm.cap_sfu_suspend(w, sel);
+            }
+            sm.writeback_cap_uniform(w, cd, cap, mask, costs);
+        };
+        match instr {
+            Instr::CapUnary { op, rd, cs1 } => self.exec_cap_unary_fast(w, sel, op, rd, cs1, costs),
+            Instr::CAndPerm { cd, cs1, rs2 } => {
+                binary(self, "CAndPerm", cs1, Some(rs2), cd, false, &|c, b| {
+                    c.and_perm(Perms::from_bits(b as u16))
+                });
+            }
+            Instr::CSetFlags { cd, cs1, rs2 } => {
+                binary(self, "CSetFlags", cs1, Some(rs2), cd, false, &|c, b| {
+                    c.set_flags(b & 1 == 1)
+                });
+            }
+            Instr::CSetAddr { cd, cs1, rs2 } => {
+                binary(self, "CSetAddr", cs1, Some(rs2), cd, false, &|c, b| c.set_addr(b));
+            }
+            Instr::CIncOffset { cd, cs1, rs2 } => {
+                binary(self, "CIncOffset", cs1, Some(rs2), cd, false, &|c, b| c.inc_offset(b));
+            }
+            Instr::CIncOffsetImm { cd, cs1, imm } => {
+                binary(self, "CIncOffsetImm", cs1, None, cd, false, &|c, _| {
+                    c.inc_offset(imm as u32)
+                });
+            }
+            Instr::CSetBounds { cd, cs1, rs2 } => {
+                binary(self, "CSetBounds", cs1, Some(rs2), cd, true, &|c, b| c.set_bounds(b).0);
+            }
+            Instr::CSetBoundsExact { cd, cs1, rs2 } => {
+                binary(self, "CSetBoundsExact", cs1, Some(rs2), cd, true, &|c, b| {
+                    c.set_bounds_exact(b)
+                });
+            }
+            Instr::CSetBoundsImm { cd, cs1, imm } => {
+                binary(self, "CSetBoundsImm", cs1, None, cd, true, &|c, _| c.set_bounds(imm).0);
+            }
+            Instr::CSpecialRw { cd, scr: s, .. } => {
+                self.stats.count_cheri("CSpecialRW", 1);
+                let cap = self.scr_cap(sel, s);
+                self.writeback_cap_uniform(w, cd, cap, mask, costs);
+            }
+            _ => unreachable!("not a capability-class instruction"),
+        }
+    }
+
+    /// `CSpecialRW` source: the live PCC or a special capability register.
+    fn scr_cap(&self, sel: &Selection, s: u8) -> CapPipe {
+        if s == scr::PCC {
+            Self::cap_of(sel.pcc_meta, sel.pc as u64)
+        } else {
+            CapPipe::from_mem(self.scrs[s as usize])
+        }
+    }
+
+    /// Commit a warp-uniform capability result compactly.
+    fn writeback_cap_uniform(
+        &mut self,
+        w: u32,
+        cd: Reg,
+        cap: CapPipe,
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        let (m, d) = Self::cap_parts(cap);
+        let meta = OperandVec::Uniform(m);
+        self.writeback_compact(w, cd, &OperandVec::Uniform(d), Some(&meta), mask, costs);
+    }
+
+    /// Trace-histogram name of a unary capability op.
+    fn cap_unary_name(op: UnaryCapOp) -> &'static str {
+        match op {
+            UnaryCapOp::GetTag => "CGetTag",
+            UnaryCapOp::ClearTag => "CClearTag",
+            UnaryCapOp::GetPerm => "CGetPerm",
+            UnaryCapOp::GetBase => "CGetBase",
+            UnaryCapOp::GetLen => "CGetLen",
+            UnaryCapOp::GetType => "CGetType",
+            UnaryCapOp::GetSealed => "CGetSealed",
+            UnaryCapOp::GetFlags => "CGetFlags",
+            UnaryCapOp::GetAddr => "CGetAddr",
+            UnaryCapOp::Move => "CMove",
+            UnaryCapOp::SealEntry => "CSealEntry",
+            UnaryCapOp::Crrl => "CRRL",
+            UnaryCapOp::Cram => "CRAM",
+        }
+    }
+
+    /// Does this unary op round-trip the SFU when capability ops are
+    /// offloaded? (The bounds-decoding queries of Section 3.3.)
+    fn cap_unary_offloads(op: UnaryCapOp) -> bool {
+        matches!(op, UnaryCapOp::GetBase | UnaryCapOp::GetLen | UnaryCapOp::Crrl | UnaryCapOp::Cram)
+    }
+
+    /// Lane-wise unary capability op, filling `r`/`rm` for the common
+    /// writeback tail.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_cap_unary(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        op: UnaryCapOp,
+        _rd: Reg,
+        cs1: Reg,
+        r: &mut [u64; MAX_LANES],
+        rm: &mut [u64; MAX_LANES],
+        rd_is_cap: &mut bool,
+        costs: &mut Costs,
+    ) {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let mut a = [0u64; MAX_LANES];
+        let mut am = [NULL_META; MAX_LANES];
+        self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+        self.stats.count_cheri(Self::cap_unary_name(op), 1);
+        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
+            let cap = Self::cap_of(am[i], a[i]);
+            match op {
+                UnaryCapOp::GetTag => r[i] = cap.tag() as u64,
+                UnaryCapOp::GetPerm => r[i] = cap.perms().bits() as u64,
+                UnaryCapOp::GetBase => r[i] = cap.base() as u64,
+                UnaryCapOp::GetLen => r[i] = cap.length().min(u32::MAX as u64),
+                UnaryCapOp::GetType => r[i] = cap.otype() as u64,
+                UnaryCapOp::GetSealed => r[i] = cap.is_sealed() as u64,
+                UnaryCapOp::GetFlags => r[i] = cap.flag() as u64,
+                UnaryCapOp::GetAddr => r[i] = cap.addr() as u64,
+                UnaryCapOp::Crrl => {
+                    r[i] = bounds::representable_length(a[i] as u32).min(u32::MAX as u64)
+                }
+                UnaryCapOp::Cram => r[i] = bounds::representable_alignment_mask(a[i] as u32) as u64,
+                UnaryCapOp::ClearTag => {
+                    (rm[i], r[i]) = Self::cap_parts(cap.clear_tag());
+                    *rd_is_cap = true;
+                }
+                UnaryCapOp::Move => {
+                    (rm[i], r[i]) = (am[i], a[i]);
+                    *rd_is_cap = true;
+                }
+                UnaryCapOp::SealEntry => {
+                    (rm[i], r[i]) = Self::cap_parts(cap.seal_entry());
+                    *rd_is_cap = true;
+                }
+            }
+        }
+        if Self::cap_unary_offloads(op) {
+            self.cap_sfu_suspend(w, sel);
+        }
+    }
+
+    /// Warp-wide unary capability op over a uniform capability operand.
+    fn exec_cap_unary_fast(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        op: UnaryCapOp,
+        rd: Reg,
+        cs1: Reg,
+        costs: &mut Costs,
+    ) {
+        let (d, m) = self.read_cap_compact(w, cs1, costs);
+        let (d, m) = (expect_uniform(&d), expect_uniform(&m));
+        self.stats.count_cheri(Self::cap_unary_name(op), 1);
+        let cap = Self::cap_of(m, d);
+        let (r, rm) = match op {
+            UnaryCapOp::GetTag => (cap.tag() as u64, None),
+            UnaryCapOp::GetPerm => (cap.perms().bits() as u64, None),
+            UnaryCapOp::GetBase => (cap.base() as u64, None),
+            UnaryCapOp::GetLen => (cap.length().min(u32::MAX as u64), None),
+            UnaryCapOp::GetType => (cap.otype() as u64, None),
+            UnaryCapOp::GetSealed => (cap.is_sealed() as u64, None),
+            UnaryCapOp::GetFlags => (cap.flag() as u64, None),
+            UnaryCapOp::GetAddr => (cap.addr() as u64, None),
+            UnaryCapOp::Crrl => (bounds::representable_length(d as u32).min(u32::MAX as u64), None),
+            UnaryCapOp::Cram => (bounds::representable_alignment_mask(d as u32) as u64, None),
+            UnaryCapOp::ClearTag => {
+                let (mm, dd) = Self::cap_parts(cap.clear_tag());
+                (dd, Some(mm))
+            }
+            UnaryCapOp::Move => (d, Some(m)),
+            UnaryCapOp::SealEntry => {
+                let (mm, dd) = Self::cap_parts(cap.seal_entry());
+                (dd, Some(mm))
+            }
+        };
+        if Self::cap_unary_offloads(op) {
+            self.cap_sfu_suspend(w, sel);
+        }
+        let meta = rm.map(OperandVec::Uniform);
+        self.writeback_compact(w, rd, &OperandVec::Uniform(r), meta.as_ref(), sel.mask, costs);
+    }
+}

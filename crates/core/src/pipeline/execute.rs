@@ -1,25 +1,28 @@
-//! Execute stage: fetch check, the lane ALUs, and SFU offload.
+//! Execute stage: fetch check, issue classification and dispatch to the
+//! op-class handlers.
 //!
-//! Owns instruction-issue accounting (`instrs`, `thread_instrs`, the
-//! occupancy samples, the Issue trace event), the per-warp PCC fetch check,
-//! capability arithmetic and its `cheri_histogram` attribution, the CSC
-//! serialisation and capability multi-flit stalls, and SFU round-trips.
+//! Owns instruction-issue accounting (`instrs`, `thread_instrs`,
+//! `scalarised_issues`, the occupancy samples, the Issue trace event), the
+//! per-warp PCC fetch check, the memory-class dispatch with its CSC
+//! serialisation and capability multi-flit stalls, and the SFU suspension
+//! helpers shared by the op-class handlers.
 //!
-//! CSR reads are virtualised for multi-SM devices: `MHARTID` is offset by
-//! the SM's [`Sm::set_hart_base`] placement and `SIMT_NUM_THREADS` reads
-//! the device-wide thread count, so an unmodified grid-stride kernel
-//! distributes its blocks across every SM of a [`crate::Device`].
+//! Every issue is classified *before* execution (see [`super::classify`])
+//! and the verdict routes it through [`Sm::execute`]: scalarised issues may
+//! take the warp-wide fast path over compact operands (unless the host
+//! disabled it with [`Sm::set_scalarise`]), per-lane issues always take the
+//! lane-wise reference path. The handlers live in [`super::alu`],
+//! [`super::flow`], [`super::sfu`] and [`super::capops`]; memory and
+//! system ops are handled here because they are never scalarised.
 
 use super::Costs;
-use crate::exec;
 use crate::sm::Sm;
 use crate::trap::{RunError, Trap, TrapCause};
 use crate::warp::{Selection, ThreadStatus};
-use cheri_cap::{bounds, CapPipe, Perms};
-use simt_isa::{scr, Instr, LoadWidth, Reg, SimtOp, UnaryCapOp};
+use simt_isa::{Instr, LoadWidth, Reg, SimtOp};
 use simt_mem::map;
-use simt_regfile::{MAX_LANES, NULL_META};
-use simt_trace::{StallCause, TraceEvent};
+use simt_regfile::MAX_LANES;
+use simt_trace::{IssueClass, StallCause, TraceEvent};
 
 impl Sm {
     pub(crate) fn trap(&self, w: u32, sel: &Selection, lane: u32, cause: TrapCause) -> Trap {
@@ -59,6 +62,10 @@ impl Sm {
             }
         };
 
+        // Classify before executing: the event, the counter and the
+        // executed path all report the same verdict.
+        let class = self.issue_class(wid, &sel, instr);
+
         // Issue accounting.
         self.cycle += 1;
         if let Some(sink) = self.sink.as_deref_mut() {
@@ -68,10 +75,14 @@ impl Sm {
                 pc: sel.pc,
                 mask: sel.mask,
                 mnemonic: instr.mnemonic(),
+                class,
             });
         }
         self.stats.instrs += 1;
         self.stats.thread_instrs += sel.mask.count_ones() as u64;
+        if class == IssueClass::Scalarised {
+            self.stats.scalarised_issues += 1;
+        }
         self.samples += 1;
         self.sum_data_resident += self.data_rf.vrf_resident() as u64;
         if let Some(m) = &self.meta_rf {
@@ -79,7 +90,7 @@ impl Sm {
         }
 
         let mut costs = Costs::default();
-        let result = self.execute(wid, &sel, instr, &mut costs);
+        let result = self.execute(wid, &sel, instr, class, &mut costs);
 
         // Apply accumulated costs.
         self.cycle += (costs.extra_cycles + costs.spill_cycles) as u64;
@@ -105,114 +116,75 @@ impl Sm {
         result
     }
 
-    /// Execute `instr` for the selected threads of warp `w`.
-    #[allow(clippy::too_many_lines)]
+    /// Execute `instr` for the selected threads of warp `w`, honouring the
+    /// issue classifier's verdict: scalarised issues take the warp-wide
+    /// compact path (when enabled), everything else the lane-wise one.
     pub(crate) fn execute(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        class: IssueClass,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let fast = self.scalarise && class == IssueClass::Scalarised;
+        match instr {
+            Instr::Lui { .. }
+            | Instr::Auipc { .. }
+            | Instr::OpImm { .. }
+            | Instr::Op { .. }
+            | Instr::MulDiv { .. }
+            | Instr::Csrrs { .. } => {
+                self.exec_alu_class(w, sel, instr, fast, costs);
+                Ok(())
+            }
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } => {
+                self.exec_flow_class(w, sel, instr, fast, costs)
+            }
+            Instr::FOp { .. }
+            | Instr::FSqrt { .. }
+            | Instr::FCmp { .. }
+            | Instr::FCvtWS { .. }
+            | Instr::FCvtSW { .. } => {
+                self.exec_sfu_class(w, sel, instr, fast, costs);
+                Ok(())
+            }
+            Instr::CapUnary { .. }
+            | Instr::CAndPerm { .. }
+            | Instr::CSetFlags { .. }
+            | Instr::CSetAddr { .. }
+            | Instr::CIncOffset { .. }
+            | Instr::CIncOffsetImm { .. }
+            | Instr::CSetBounds { .. }
+            | Instr::CSetBoundsExact { .. }
+            | Instr::CSetBoundsImm { .. }
+            | Instr::CSpecialRw { .. } => {
+                self.exec_cap_class(w, sel, instr, fast, costs);
+                Ok(())
+            }
+            Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::Clc { .. }
+            | Instr::Csc { .. }
+            | Instr::Amo { .. } => self.exec_mem_class(w, sel, instr, costs),
+            Instr::Fence | Instr::Ecall | Instr::Ebreak | Instr::Simt { .. } => {
+                self.exec_sys_class(w, sel, instr)
+            }
+        }
+    }
+
+    /// Memory op class: loads, stores, capability-wide transfers and AMOs.
+    /// Always per-lane (addresses diverge); the memory pipeline proper
+    /// lives in [`super::memstage`].
+    fn exec_mem_class(
         &mut self,
         w: u32,
         sel: &Selection,
         instr: Instr,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
         let cheri = self.cheri();
-        let mut a = [0u64; MAX_LANES];
-        let mut b = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
-        let mut rm = [NULL_META; MAX_LANES];
-        // Default next PC: sequential.
-        let mut next_pc = [sel.pc.wrapping_add(4); MAX_LANES];
-        let mut status_change: Option<ThreadStatus> = None;
-        let mut write_rd: Option<Reg> = None;
-        let mut rd_is_cap = false;
-
-        macro_rules! active {
-            () => {
-                (0..lanes).filter(|i| mask >> i & 1 == 1)
-            };
-        }
-
         match instr {
-            Instr::Lui { rd, imm } => {
-                r[..lanes].fill(imm as u64);
-                write_rd = Some(rd);
-            }
-            Instr::Auipc { rd, imm } => {
-                let target = sel.pc.wrapping_add(imm);
-                if cheri {
-                    self.stats.count_cheri("AUIPCC", 1);
-                    let cap = Self::cap_of(sel.pcc_meta, sel.pc as u64).set_addr(target);
-                    let (m, d) = Self::cap_parts(cap);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    r[..lanes].fill(target as u64);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Jal { rd, off } => {
-                if cheri {
-                    self.stats.count_cheri("CJAL", 1);
-                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                        .set_addr(sel.pc.wrapping_add(4))
-                        .seal_entry();
-                    let (m, d) = Self::cap_parts(link);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
-                }
-                let target = sel.pc.wrapping_add(off as u32);
-                for i in active!() {
-                    next_pc[i] = target;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Jalr { rd, rs1, off } => {
-                if cheri {
-                    self.stats.count_cheri("CJALR", 1);
-                    self.read_cap_operand(w, rs1, &mut a, &mut am, costs);
-                    for i in active!() {
-                        let cap = Self::cap_of(am[i], a[i]);
-                        let target = (cap.addr().wrapping_add(off as u32)) & !1;
-                        let cap = cap.unseal_sentry();
-                        if let Err(e) = cap.check_fetch(target) {
-                            return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                        }
-                        let (m, _) = Self::cap_parts(cap);
-                        self.warps[w as usize].set_pcc_meta(i, m);
-                        next_pc[i] = target;
-                    }
-                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                        .set_addr(sel.pc.wrapping_add(4))
-                        .seal_entry();
-                    let (m, d) = Self::cap_parts(link);
-                    r[..lanes].fill(d);
-                    rm[..lanes].fill(m);
-                    rd_is_cap = true;
-                } else {
-                    self.read_data(w, rs1, &mut a, costs);
-                    for i in active!() {
-                        next_pc[i] = (a[i] as u32).wrapping_add(off as u32) & !1;
-                    }
-                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Branch { cond, rs1, rs2, off } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                let target = sel.pc.wrapping_add(off as u32);
-                for i in active!() {
-                    if exec::branch_taken(cond, a[i] as u32, b[i] as u32) {
-                        next_pc[i] = target;
-                    }
-                }
-            }
             Instr::Load { w: lw, rd, rs1, off } => {
                 if cheri {
                     self.stats.count_cheri(
@@ -239,10 +211,6 @@ impl Sm {
                     lw,
                     costs,
                 )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
             }
             Instr::Store { w: sw, rs2, rs1, off } => {
                 if cheri {
@@ -268,20 +236,10 @@ impl Sm {
                     LoadWidth::W,
                     costs,
                 )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
             }
             Instr::Clc { cd, cs1, off } => {
                 self.stats.count_cheri("CLC", 1);
-                self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
-                self.emit_stall(
-                    w,
-                    StallCause::CapMultiFlit,
-                    self.cfg.timing.cap_access_extra as u64,
-                );
-                costs.extra_cycles += self.cfg.timing.cap_access_extra;
+                self.cap_multi_flit_stall(w, costs);
                 self.do_load_store(
                     w,
                     sel,
@@ -295,20 +253,10 @@ impl Sm {
                     LoadWidth::W,
                     costs,
                 )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
             }
             Instr::Csc { cs2, cs1, off } => {
                 self.stats.count_cheri("CSC", 1);
-                self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
-                self.emit_stall(
-                    w,
-                    StallCause::CapMultiFlit,
-                    self.cfg.timing.cap_access_extra as u64,
-                );
-                costs.extra_cycles += self.cfg.timing.cap_access_extra;
+                self.cap_multi_flit_stall(w, costs);
                 // Single-read-port metadata SRF: CSC needs cs1 and cs2
                 // metadata, costing an extra operand-fetch cycle in the
                 // optimised configuration (Section 3.2).
@@ -332,244 +280,49 @@ impl Sm {
                     LoadWidth::W,
                     costs,
                 )?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
-            }
-            Instr::OpImm { op, rd, rs1, imm } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::alu(op, a[i] as u32, imm as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::Op { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::alu(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::MulDiv { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::muldiv(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                if matches!(
-                    op,
-                    simt_isa::MulOp::Div
-                        | simt_isa::MulOp::Divu
-                        | simt_isa::MulOp::Rem
-                        | simt_isa::MulOp::Remu
-                ) {
-                    self.warps[w as usize].ready_at =
-                        self.cycle + self.cfg.timing.div_latency as u64;
-                }
-                write_rd = Some(rd);
             }
             Instr::Amo { op, rd, rs1, rs2 } => {
                 if cheri {
                     self.stats.count_cheri("CAMO", 1);
                 }
+                let mut b = [0u64; MAX_LANES];
                 self.read_data(w, rs2, &mut b, costs);
                 self.do_amo(w, sel, rs1, rd, op, &b, costs)?;
-                return {
-                    self.advance(w, sel, &next_pc, None);
-                    Ok(())
-                };
             }
-            Instr::Fence => {}
+            _ => unreachable!("not a memory-class instruction"),
+        }
+        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        Ok(())
+    }
+
+    /// The second flit of a capability-wide access (`CLC`/`CSC`) on the
+    /// 32-bit datapath (Section 3.1).
+    fn cap_multi_flit_stall(&mut self, w: u32, costs: &mut Costs) {
+        self.stats.stalls.cap_multi_flit += self.cfg.timing.cap_access_extra as u64;
+        self.emit_stall(w, StallCause::CapMultiFlit, self.cfg.timing.cap_access_extra as u64);
+        costs.extra_cycles += self.cfg.timing.cap_access_extra;
+    }
+
+    /// System op class: fences, environment traps and SIMT control.
+    fn exec_sys_class(&mut self, w: u32, sel: &Selection, instr: Instr) -> Result<(), RunError> {
+        let status_change = match instr {
+            Instr::Fence => None,
             Instr::Ecall | Instr::Ebreak => {
                 return Err(self
                     .trap(w, sel, sel.mask.trailing_zeros(), TrapCause::Environment)
                     .into());
             }
-            Instr::Csrrs { rd, csr, .. } => {
-                use simt_isa::csr as c;
-                for i in active!() {
-                    r[i] = match csr {
-                        c::MHARTID => (self.hart_base + w * self.cfg.lanes + i as u32) as u64,
-                        c::SIMT_NUM_WARPS => self.cfg.warps as u64,
-                        c::SIMT_LOG_LANES => self.cfg.lanes.trailing_zeros() as u64,
-                        c::SIMT_NUM_THREADS => self.device_threads as u64,
-                        _ => 0,
-                    };
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FOp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::fp(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                if op == simt_isa::FpOp::Div {
-                    self.sfu_suspend(w, sel);
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FSqrt { rd, rs1 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fsqrt(a[i] as u32) as u64;
-                }
-                self.sfu_suspend(w, sel);
-                write_rd = Some(rd);
-            }
-            Instr::FCmp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    r[i] = exec::fcmp(op, a[i] as u32, b[i] as u32) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FCvtWS { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fcvt_ws(a[i] as u32, signed) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::FCvtSW { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
-                for i in active!() {
-                    r[i] = exec::fcvt_sw(a[i] as u32, signed) as u64;
-                }
-                write_rd = Some(rd);
-            }
-            Instr::CapUnary { op, rd, cs1 } => {
-                self.exec_cap_unary(w, sel, op, rd, cs1, &mut r, &mut rm, &mut rd_is_cap, costs);
-                write_rd = Some(rd);
-            }
-            Instr::CAndPerm { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CAndPerm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).and_perm(Perms::from_bits(b[i] as u16));
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetFlags { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetFlags", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_flags(b[i] & 1 == 1);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetAddr { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetAddr", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_addr(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CIncOffset { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CIncOffset", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).inc_offset(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CIncOffsetImm { cd, cs1, imm } => {
-                self.stats.count_cheri("CIncOffsetImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).inc_offset(imm as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBounds { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetBounds", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBoundsExact { cd, cs1, rs2 } => {
-                self.stats.count_cheri("CSetBoundsExact", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
-                for i in active!() {
-                    let cap = Self::cap_of(am[i], a[i]).set_bounds_exact(b[i] as u32);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSetBoundsImm { cd, cs1, imm } => {
-                self.stats.count_cheri("CSetBoundsImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                for i in active!() {
-                    let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(imm);
-                    (rm[i], r[i]) = Self::cap_parts(cap);
-                }
-                self.cap_sfu_suspend(w, sel);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::CSpecialRw { cd, scr: s, .. } => {
-                self.stats.count_cheri("CSpecialRW", 1);
-                let cap = if s == scr::PCC {
-                    Self::cap_of(sel.pcc_meta, sel.pc as u64)
-                } else {
-                    CapPipe::from_mem(self.scrs[s as usize])
-                };
-                let (m, d) = Self::cap_parts(cap);
-                r[..lanes].fill(d);
-                rm[..lanes].fill(m);
-                rd_is_cap = true;
-                write_rd = Some(cd);
-            }
-            Instr::Simt { op: SimtOp::Terminate } => {
-                status_change = Some(ThreadStatus::Terminated);
-            }
+            Instr::Simt { op: SimtOp::Terminate } => Some(ThreadStatus::Terminated),
             Instr::Simt { op: SimtOp::Barrier } => {
                 self.stats.barriers += 1;
                 if let Some(sink) = self.sink.as_deref_mut() {
                     sink.emit(TraceEvent::Barrier { cycle: self.cycle, warp: w, release: false });
                 }
-                status_change = Some(ThreadStatus::AtBarrier);
+                Some(ThreadStatus::AtBarrier)
             }
-        }
-
-        if let Some(rd) = write_rd {
-            self.write_data(w, rd, &r, mask, costs);
-            if cheri {
-                if rd_is_cap {
-                    self.write_meta(w, rd, &rm, mask, costs);
-                } else {
-                    self.write_meta_null(w, rd, mask, costs);
-                }
-            }
-        }
-        self.advance(w, sel, &next_pc, status_change);
+            _ => unreachable!("not a system-class instruction"),
+        };
+        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], status_change);
         Ok(())
     }
 
@@ -592,77 +345,6 @@ impl Sm {
     pub(crate) fn cap_sfu_suspend(&mut self, w: u32, sel: &Selection) {
         if self.opts.map(|o| o.sfu_cap_ops).unwrap_or(false) {
             self.sfu_suspend(w, sel);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn exec_cap_unary(
-        &mut self,
-        w: u32,
-        sel: &Selection,
-        op: UnaryCapOp,
-        _rd: Reg,
-        cs1: Reg,
-        r: &mut [u64; MAX_LANES],
-        rm: &mut [u64; MAX_LANES],
-        rd_is_cap: &mut bool,
-        costs: &mut Costs,
-    ) {
-        let lanes = self.cfg.lanes as usize;
-        let mask = sel.mask;
-        let mut a = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-        let name = match op {
-            UnaryCapOp::GetTag => "CGetTag",
-            UnaryCapOp::ClearTag => "CClearTag",
-            UnaryCapOp::GetPerm => "CGetPerm",
-            UnaryCapOp::GetBase => "CGetBase",
-            UnaryCapOp::GetLen => "CGetLen",
-            UnaryCapOp::GetType => "CGetType",
-            UnaryCapOp::GetSealed => "CGetSealed",
-            UnaryCapOp::GetFlags => "CGetFlags",
-            UnaryCapOp::GetAddr => "CGetAddr",
-            UnaryCapOp::Move => "CMove",
-            UnaryCapOp::SealEntry => "CSealEntry",
-            UnaryCapOp::Crrl => "CRRL",
-            UnaryCapOp::Cram => "CRAM",
-        };
-        self.stats.count_cheri(name, 1);
-        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
-            let cap = Self::cap_of(am[i], a[i]);
-            match op {
-                UnaryCapOp::GetTag => r[i] = cap.tag() as u64,
-                UnaryCapOp::GetPerm => r[i] = cap.perms().bits() as u64,
-                UnaryCapOp::GetBase => r[i] = cap.base() as u64,
-                UnaryCapOp::GetLen => r[i] = cap.length().min(u32::MAX as u64),
-                UnaryCapOp::GetType => r[i] = cap.otype() as u64,
-                UnaryCapOp::GetSealed => r[i] = cap.is_sealed() as u64,
-                UnaryCapOp::GetFlags => r[i] = cap.flag() as u64,
-                UnaryCapOp::GetAddr => r[i] = cap.addr() as u64,
-                UnaryCapOp::Crrl => {
-                    r[i] = bounds::representable_length(a[i] as u32).min(u32::MAX as u64)
-                }
-                UnaryCapOp::Cram => r[i] = bounds::representable_alignment_mask(a[i] as u32) as u64,
-                UnaryCapOp::ClearTag => {
-                    (rm[i], r[i]) = Self::cap_parts(cap.clear_tag());
-                    *rd_is_cap = true;
-                }
-                UnaryCapOp::Move => {
-                    (rm[i], r[i]) = (am[i], a[i]);
-                    *rd_is_cap = true;
-                }
-                UnaryCapOp::SealEntry => {
-                    (rm[i], r[i]) = Self::cap_parts(cap.seal_entry());
-                    *rd_is_cap = true;
-                }
-            }
-        }
-        if matches!(
-            op,
-            UnaryCapOp::GetBase | UnaryCapOp::GetLen | UnaryCapOp::Crrl | UnaryCapOp::Cram
-        ) {
-            self.cap_sfu_suspend(w, sel);
         }
     }
 }

@@ -1,0 +1,190 @@
+//! Control-flow op class: `JAL`, `JALR` and conditional branches.
+//!
+//! Under CHERI, `JAL`/`JALR` become `CJAL`/`CJALR`: the link register is a
+//! sealed (sentry) capability and the jump target is fetch-checked against
+//! the unsealed target capability, per lane. The scalarised fast path
+//! covers warp-invariant flow — `JAL` (the target is an immediate),
+//! non-CHERI `JALR` with a uniform base, and branches whose operands are
+//! uniform so the whole warp takes one direction.
+
+use super::scalar::expect_uniform;
+use super::Costs;
+use crate::exec;
+use crate::sm::Sm;
+use crate::trap::{RunError, TrapCause};
+use crate::warp::Selection;
+use simt_isa::Instr;
+use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
+
+impl Sm {
+    /// Execute one control-flow instruction.
+    ///
+    /// # Errors
+    ///
+    /// CHERI `JALR` traps when the target capability fails the fetch check.
+    pub(crate) fn exec_flow_class(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        fast: bool,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        if fast {
+            self.exec_flow_fast(w, sel, instr, costs);
+            Ok(())
+        } else {
+            self.exec_flow_lanewise(w, sel, instr, costs)
+        }
+    }
+
+    /// The lane-wise reference path.
+    fn exec_flow_lanewise(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let cheri = self.cheri();
+        let mut a = [0u64; MAX_LANES];
+        let mut am = [NULL_META; MAX_LANES];
+        let mut r = [0u64; MAX_LANES];
+        let mut rm = [NULL_META; MAX_LANES];
+        let mut next_pc = [sel.pc.wrapping_add(4); MAX_LANES];
+        let mut rd_is_cap = false;
+
+        macro_rules! active {
+            () => {
+                (0..lanes).filter(|i| mask >> i & 1 == 1)
+            };
+        }
+
+        let write_rd = match instr {
+            Instr::Jal { rd, off } => {
+                if cheri {
+                    self.stats.count_cheri("CJAL", 1);
+                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
+                        .set_addr(sel.pc.wrapping_add(4))
+                        .seal_entry();
+                    let (m, d) = Self::cap_parts(link);
+                    r[..lanes].fill(d);
+                    rm[..lanes].fill(m);
+                    rd_is_cap = true;
+                } else {
+                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
+                }
+                let target = sel.pc.wrapping_add(off as u32);
+                for i in active!() {
+                    next_pc[i] = target;
+                }
+                Some(rd)
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                if cheri {
+                    self.stats.count_cheri("CJALR", 1);
+                    self.read_cap_operand(w, rs1, &mut a, &mut am, costs);
+                    for i in active!() {
+                        let cap = Self::cap_of(am[i], a[i]);
+                        let target = (cap.addr().wrapping_add(off as u32)) & !1;
+                        let cap = cap.unseal_sentry();
+                        if let Err(e) = cap.check_fetch(target) {
+                            return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
+                        }
+                        let (m, _) = Self::cap_parts(cap);
+                        self.warps[w as usize].set_pcc_meta(i, m);
+                        next_pc[i] = target;
+                    }
+                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
+                        .set_addr(sel.pc.wrapping_add(4))
+                        .seal_entry();
+                    let (m, d) = Self::cap_parts(link);
+                    r[..lanes].fill(d);
+                    rm[..lanes].fill(m);
+                    rd_is_cap = true;
+                } else {
+                    self.read_data(w, rs1, &mut a, costs);
+                    for i in active!() {
+                        next_pc[i] = (a[i] as u32).wrapping_add(off as u32) & !1;
+                    }
+                    r[..lanes].fill(sel.pc.wrapping_add(4) as u64);
+                }
+                Some(rd)
+            }
+            Instr::Branch { cond, rs1, rs2, off } => {
+                self.read_data(w, rs1, &mut a, costs);
+                let mut b = [0u64; MAX_LANES];
+                self.read_data(w, rs2, &mut b, costs);
+                let target = sel.pc.wrapping_add(off as u32);
+                for i in active!() {
+                    if exec::branch_taken(cond, a[i] as u32, b[i] as u32) {
+                        next_pc[i] = target;
+                    }
+                }
+                None
+            }
+            _ => unreachable!("not a flow-class instruction"),
+        };
+        if let Some(rd) = write_rd {
+            self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+        }
+        self.advance(w, sel, &next_pc, None);
+        Ok(())
+    }
+
+    /// The warp-wide fast path: one target resolution per warp. Never
+    /// reached for CHERI `JALR` (per-lane PCC installation), so it cannot
+    /// trap.
+    fn exec_flow_fast(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let mask = sel.mask;
+        let seq = sel.pc.wrapping_add(4);
+        match instr {
+            Instr::Jal { rd, off } => {
+                if self.cheri() {
+                    self.stats.count_cheri("CJAL", 1);
+                    let link = Self::cap_of(sel.pcc_meta, sel.pc as u64).set_addr(seq).seal_entry();
+                    let (m, d) = Self::cap_parts(link);
+                    let meta = OperandVec::Uniform(m);
+                    self.writeback_compact(
+                        w,
+                        rd,
+                        &OperandVec::Uniform(d),
+                        Some(&meta),
+                        mask,
+                        costs,
+                    );
+                } else {
+                    self.writeback_compact(
+                        w,
+                        rd,
+                        &OperandVec::Uniform(seq as u64),
+                        None,
+                        mask,
+                        costs,
+                    );
+                }
+                let target = sel.pc.wrapping_add(off as u32);
+                self.advance(w, sel, &[target; MAX_LANES], None);
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                let base = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                let target = (base as u32).wrapping_add(off as u32) & !1;
+                self.writeback_compact(w, rd, &OperandVec::Uniform(seq as u64), None, mask, costs);
+                self.advance(w, sel, &[target; MAX_LANES], None);
+            }
+            Instr::Branch { cond, rs1, rs2, off } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                let b = expect_uniform(&self.read_data_compact(w, rs2, costs));
+                let next = if exec::branch_taken(cond, a as u32, b as u32) {
+                    sel.pc.wrapping_add(off as u32)
+                } else {
+                    seq
+                };
+                self.advance(w, sel, &[next; MAX_LANES], None);
+            }
+            _ => unreachable!("not a flow-class instruction"),
+        }
+    }
+}

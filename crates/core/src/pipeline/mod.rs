@@ -5,23 +5,36 @@
 //!
 //! * [`schedule`] — barrel scheduler: round-robin warp pick, active-thread
 //!   selection, barrier release, idle accounting, deadlock detection.
-//! * [`operands`] — operand collection: data/metadata register-file reads,
-//!   the shared-VRF serialisation penalty, capability marshalling.
-//! * [`execute`] — fetch check + the lane ALUs: CHERI checks, capability
-//!   arithmetic, SFU offload, issue accounting.
+//! * [`operands`] — operand collection: data/metadata register-file reads
+//!   (lane-wise and compact), the shared-VRF serialisation penalty,
+//!   capability marshalling.
+//! * [`classify`] — pre-execute issue classification: scalarised
+//!   (warp-wide over compact operands) versus per-lane, recorded on the
+//!   issue event and `scalarised_issues`.
+//! * [`execute`] — fetch check, issue accounting and dispatch to the
+//!   op-class handlers; owns the memory/system classes.
+//! * [`alu`] / [`flow`] / [`sfu`] / [`capops`] — the op-class handlers,
+//!   each with a bit-identical lane-wise reference path and warp-wide
+//!   fast path (see [`scalar`] for the compact arithmetic).
 //! * [`memstage`] — the memory stage: coalescer → tag controller → DRAM
 //!   and the banked scratchpad, plus the compressed stack cache filter.
-//! * [`writeback`] — register writeback (spill/fill costing) and PC/status
-//!   commit.
+//! * [`writeback`] — register writeback (spill/fill costing, lane-wise and
+//!   compact) and PC/status commit.
 //!
 //! `Sm` itself (in [`crate::sm`]) keeps only the state and the host API;
 //! the stages reach into its `pub(crate)` fields exactly as the monolithic
 //! implementation did, so the cycle-level behaviour is unchanged.
 
+pub(crate) mod alu;
+pub(crate) mod capops;
+pub(crate) mod classify;
 pub(crate) mod execute;
+pub(crate) mod flow;
 pub(crate) mod memstage;
 pub(crate) mod operands;
+pub(crate) mod scalar;
 pub(crate) mod schedule;
+pub(crate) mod sfu;
 pub(crate) mod writeback;
 
 use simt_regfile::{ReadInfo, WriteInfo};

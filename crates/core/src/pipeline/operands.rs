@@ -9,7 +9,7 @@ use super::Costs;
 use crate::sm::Sm;
 use cheri_cap::{CapMem, CapPipe};
 use simt_isa::Reg;
-use simt_regfile::{ReadInfo, MAX_LANES, NULL_META};
+use simt_regfile::{OperandVec, ReadInfo, MAX_LANES, NULL_META};
 use simt_trace::StallCause;
 
 impl Sm {
@@ -57,6 +57,56 @@ impl Sm {
                 ReadInfo::default()
             }
         }
+    }
+
+    /// Compact read of a data operand: the stored register-file form
+    /// without lane expansion. Cost accounting matches [`Sm::read_data`]
+    /// exactly (compact entries never spill or fill, so on the scalarised
+    /// path this is free, as the lane-wise read of the same entry is).
+    pub(crate) fn read_data_compact(&mut self, w: u32, reg: Reg, costs: &mut Costs) -> OperandVec {
+        if reg.is_zero() {
+            return OperandVec::Uniform(0);
+        }
+        let (v, info) = self.data_rf.read_compact(w, reg.index() as u32);
+        costs.add_read(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
+        v
+    }
+
+    /// Compact read of a full capability operand (data + metadata), the
+    /// counterpart of [`Sm::read_cap_operand`] including its shared-VRF
+    /// serialisation penalty (which cannot fire for the compact entries the
+    /// issue classifier admits, but the bookkeeping stays in one shape).
+    pub(crate) fn read_cap_compact(
+        &mut self,
+        w: u32,
+        reg: Reg,
+        costs: &mut Costs,
+    ) -> (OperandVec, OperandVec) {
+        let lanes = self.cfg.lanes;
+        let spill = self.cfg.timing.spill_cycles;
+        let (d, di) = if reg.is_zero() {
+            (OperandVec::Uniform(0), ReadInfo::default())
+        } else {
+            let (v, info) = self.data_rf.read_compact(w, reg.index() as u32);
+            costs.add_read(spill, lanes, info);
+            (v, info)
+        };
+        let (m, mi) = match self.meta_rf.as_mut() {
+            Some(rf) if !reg.is_zero() => {
+                let (v, info) = rf.read_compact(w, reg.index() as u32);
+                costs.add_read(spill, lanes, info);
+                (v, info)
+            }
+            _ => (OperandVec::Uniform(NULL_META), ReadInfo::default()),
+        };
+        if let Some(o) = self.opts {
+            if o.shared_vrf && di.from_vrf && mi.from_vrf {
+                costs.extra_cycles += 1;
+                self.stats.stalls.shared_vrf_conflict += 1;
+                self.emit_stall(w, StallCause::SharedVrfConflict, 1);
+            }
+        }
+        (d, m)
     }
 
     /// Read a full capability operand: data (address) + metadata, with the

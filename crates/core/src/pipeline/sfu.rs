@@ -1,0 +1,132 @@
+//! Floating-point op class: lane FP ALU plus SFU round-trips for the
+//! long-latency operations (`FDIV`, `FSQRT`).
+//!
+//! The scalarised fast path evaluates one FP operation per warp when every
+//! operand is uniform; the SFU suspension (which charges per *active lane*)
+//! is identical on both paths.
+
+use super::scalar::expect_uniform;
+use super::Costs;
+use crate::exec;
+use crate::sm::Sm;
+use crate::warp::Selection;
+use simt_isa::Instr;
+use simt_regfile::{OperandVec, MAX_LANES};
+
+impl Sm {
+    /// Execute one FP-class instruction (always writes `rd`, never traps,
+    /// sequential PC).
+    pub(crate) fn exec_sfu_class(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        fast: bool,
+        costs: &mut Costs,
+    ) {
+        if fast {
+            self.exec_sfu_fast(w, sel, instr, costs);
+        } else {
+            self.exec_sfu_lanewise(w, sel, instr, costs);
+        }
+        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+    }
+
+    /// The lane-wise reference path.
+    fn exec_sfu_lanewise(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let lanes = self.cfg.lanes as usize;
+        let mask = sel.mask;
+        let mut a = [0u64; MAX_LANES];
+        let mut b = [0u64; MAX_LANES];
+        let mut r = [0u64; MAX_LANES];
+
+        macro_rules! active {
+            () => {
+                (0..lanes).filter(|i| mask >> i & 1 == 1)
+            };
+        }
+
+        let rd = match instr {
+            Instr::FOp { op, rd, rs1, rs2 } => {
+                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    r[i] = exec::fp(op, a[i] as u32, b[i] as u32) as u64;
+                }
+                if op == simt_isa::FpOp::Div {
+                    self.sfu_suspend(w, sel);
+                }
+                rd
+            }
+            Instr::FSqrt { rd, rs1 } => {
+                self.read_data(w, rs1, &mut a, costs);
+                for i in active!() {
+                    r[i] = exec::fsqrt(a[i] as u32) as u64;
+                }
+                self.sfu_suspend(w, sel);
+                rd
+            }
+            Instr::FCmp { op, rd, rs1, rs2 } => {
+                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs2, &mut b, costs);
+                for i in active!() {
+                    r[i] = exec::fcmp(op, a[i] as u32, b[i] as u32) as u64;
+                }
+                rd
+            }
+            Instr::FCvtWS { rd, rs1, signed } => {
+                self.read_data(w, rs1, &mut a, costs);
+                for i in active!() {
+                    r[i] = exec::fcvt_ws(a[i] as u32, signed) as u64;
+                }
+                rd
+            }
+            Instr::FCvtSW { rd, rs1, signed } => {
+                self.read_data(w, rs1, &mut a, costs);
+                for i in active!() {
+                    r[i] = exec::fcvt_sw(a[i] as u32, signed) as u64;
+                }
+                rd
+            }
+            _ => unreachable!("not an FP-class instruction"),
+        };
+        self.writeback(w, rd, &r, None, mask, costs);
+    }
+
+    /// The warp-wide fast path (uniform operands only).
+    fn exec_sfu_fast(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let mask = sel.mask;
+        let (rd, v) = match instr {
+            Instr::FOp { op, rd, rs1, rs2 } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                let b = expect_uniform(&self.read_data_compact(w, rs2, costs));
+                let v = exec::fp(op, a as u32, b as u32) as u64;
+                if op == simt_isa::FpOp::Div {
+                    self.sfu_suspend(w, sel);
+                }
+                (rd, v)
+            }
+            Instr::FSqrt { rd, rs1 } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                let v = exec::fsqrt(a as u32) as u64;
+                self.sfu_suspend(w, sel);
+                (rd, v)
+            }
+            Instr::FCmp { op, rd, rs1, rs2 } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                let b = expect_uniform(&self.read_data_compact(w, rs2, costs));
+                (rd, exec::fcmp(op, a as u32, b as u32) as u64)
+            }
+            Instr::FCvtWS { rd, rs1, signed } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                (rd, exec::fcvt_ws(a as u32, signed) as u64)
+            }
+            Instr::FCvtSW { rd, rs1, signed } => {
+                let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
+                (rd, exec::fcvt_sw(a as u32, signed) as u64)
+            }
+            _ => unreachable!("not an FP-class instruction"),
+        };
+        self.writeback_compact(w, rd, &OperandVec::Uniform(v), None, mask, costs);
+    }
+}

@@ -7,7 +7,7 @@ use super::Costs;
 use crate::sm::Sm;
 use crate::warp::{Selection, ThreadStatus};
 use simt_isa::Reg;
-use simt_regfile::{MAX_LANES, NULL_META};
+use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
 
 impl Sm {
     pub(crate) fn write_data(
@@ -57,6 +57,94 @@ impl Sm {
         if self.cheri() {
             let nulls = [NULL_META; MAX_LANES];
             self.write_meta(w, rd, &nulls, mask, costs);
+        }
+    }
+
+    /// The common result-commit tail of the lane-wise execute path: data
+    /// write plus (under CHERI) the matching metadata — `rm` for
+    /// capability results, null metadata otherwise.
+    pub(crate) fn writeback(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        r: &[u64],
+        rm: Option<&[u64]>,
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        self.write_data(w, rd, r, mask, costs);
+        if self.cheri() {
+            match rm {
+                Some(rm) => self.write_meta(w, rd, rm, mask, costs),
+                None => self.write_meta_null(w, rd, mask, costs),
+            }
+        }
+    }
+
+    /// Compact data write: the counterpart of [`Sm::write_data`] accepting
+    /// the result in register-file form (no recompression scan on the
+    /// scalarised path).
+    pub(crate) fn write_data_compact(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        val: &OperandVec,
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        if rd.is_zero() {
+            return;
+        }
+        let info = match self.sink.as_deref_mut() {
+            Some(sink) => {
+                self.data_rf.write_compact_traced(w, rd.index() as u32, val, mask, self.cycle, sink)
+            }
+            None => self.data_rf.write_compact(w, rd.index() as u32, val, mask),
+        };
+        costs.add_write(self.cfg.timing.spill_cycles, self.cfg.lanes, info);
+    }
+
+    /// Compact metadata write (no-op without a metadata register file).
+    pub(crate) fn write_meta_compact(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        val: &OperandVec,
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        if rd.is_zero() {
+            return;
+        }
+        let lanes = self.cfg.lanes;
+        let spill = self.cfg.timing.spill_cycles;
+        let cycle = self.cycle;
+        if let Some(rf) = self.meta_rf.as_mut() {
+            let info = match self.sink.as_deref_mut() {
+                Some(sink) => rf.write_compact_traced(w, rd.index() as u32, val, mask, cycle, sink),
+                None => rf.write_compact(w, rd.index() as u32, val, mask),
+            };
+            costs.add_write(spill, lanes, info);
+        }
+    }
+
+    /// The result-commit tail of the scalarised execute path: compact data
+    /// write plus (under CHERI) the capability metadata (`meta` for
+    /// capability results, null metadata otherwise). Bit-identical to
+    /// [`Sm::writeback`] over the expanded equivalents.
+    pub(crate) fn writeback_compact(
+        &mut self,
+        w: u32,
+        rd: Reg,
+        val: &OperandVec,
+        meta: Option<&OperandVec>,
+        mask: u64,
+        costs: &mut Costs,
+    ) {
+        self.write_data_compact(w, rd, val, mask, costs);
+        if self.cheri() {
+            let null = OperandVec::Uniform(NULL_META);
+            self.write_meta_compact(w, rd, meta.unwrap_or(&null), mask, costs);
         }
     }
 

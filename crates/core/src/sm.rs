@@ -59,6 +59,11 @@ pub struct Sm {
     /// grid-stride kernels distribute work across every SM. Equals
     /// `cfg.threads()` stand-alone.
     pub(crate) device_threads: u32,
+    /// Execute scalarised issues warp-wide over compact operands (the fast
+    /// path). Purely a host-model speed knob: issue classification, the
+    /// `scalarised_issues` counter and every other statistic are identical
+    /// either way (the differential test pins this).
+    pub(crate) scalarise: bool,
 }
 
 impl Sm {
@@ -110,6 +115,7 @@ impl Sm {
             sum_meta_resident: 0,
             hart_base: 0,
             device_threads: cfg.threads(),
+            scalarise: true,
             cfg,
         }
     }
@@ -185,6 +191,17 @@ impl Sm {
     /// Is a structured event sink attached?
     pub fn has_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Enable or disable the warp-wide execute fast path over compact
+    /// (uniform/affine) operands. On by default; turning it off forces the
+    /// lane-wise reference path for every issue. The two paths are
+    /// bit-identical — statistics (including [`KernelStats::scalarised_issues`],
+    /// which counts issue *classification*, not which path ran), trace
+    /// events and memory contents do not depend on this knob, so it exists
+    /// only for differential testing of the fast path itself.
+    pub fn set_scalarise(&mut self, enabled: bool) {
+        self.scalarise = enabled;
     }
 
     /// Emit a stall event (no-op without a sink or for zero-cycle stalls, so

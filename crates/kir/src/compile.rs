@@ -580,12 +580,22 @@ impl<'k> Codegen<'k> {
 
     // ---- Prologue ----
 
-    #[allow(clippy::too_many_lines)] // straight-line hart-setup sequence
     fn prologue(&mut self) -> Result<(), CompileError> {
         let t0 = self.temp()?;
         let t1 = self.temp()?;
+        let arg = self.prologue_hart_and_dims(t0, t1)?;
+        self.prologue_params(arg)?;
+        self.prologue_shared(t1)?;
+        self.prologue_stack(t0, t1)?;
+        self.free.push(t0);
+        self.free.push(t1);
+        Ok(())
+    }
 
-        // hartid and argument-block base.
+    /// Hart id (into `t0`), argument-block base, grid/block dimensions and
+    /// the derived thread/block indices. Returns the argument-block base
+    /// register for [`Self::prologue_params`] to consume.
+    fn prologue_hart_and_dims(&mut self, t0: Reg, t1: Reg) -> Result<Reg, CompileError> {
         self.asm.push(Instr::Csrrs { rd: t0, csr: csr::MHARTID, rs1: ZERO });
         let arg = if self.purecap() { self.cap_scratch()? } else { self.temp()? };
         if self.purecap() {
@@ -627,8 +637,12 @@ impl<'k> Codegen<'k> {
             rs1: t1,
             rs2: self.r_block_dim,
         });
+        Ok(arg)
+    }
 
-        // Parameters.
+    /// Load every kernel parameter from the argument block into its home,
+    /// then release the argument-block base register.
+    fn prologue_params(&mut self, arg: Reg) -> Result<(), CompileError> {
         for (i, p) in self.k.params.iter().enumerate() {
             match (self.params[i], self.slots[i]) {
                 (Loc::Reg(r), ArgSlot::Scalar { offset } | ArgSlot::PtrRaw { offset }) => {
@@ -665,9 +679,12 @@ impl<'k> Codegen<'k> {
             }
         }
         self.free_scratch(arg);
+        Ok(())
+    }
 
-        // Shared arrays: partition = localBlock * shared_bytes; each array
-        // at its aligned offset, bounded per-array under CHERI.
+    /// Shared arrays: partition = localBlock * shared_bytes; each array at
+    /// its aligned offset, bounded per-array under CHERI.
+    fn prologue_shared(&mut self, t1: Reg) -> Result<(), CompileError> {
         if !self.k.shared.is_empty() {
             let sh_bytes = self.k.shared_bytes();
             // On a multi-SM device block indices are global but scratchpads
@@ -733,8 +750,11 @@ impl<'k> Codegen<'k> {
             }
             self.free_scratch(base);
         }
+        Ok(())
+    }
 
-        // Per-thread stack, only when variables spilled.
+    /// Per-thread stack pointer, only when variables spilled.
+    fn prologue_stack(&mut self, t0: Reg, t1: Reg) -> Result<(), CompileError> {
         if self.stack_bytes > 0 {
             assert!(self.plan.stack_size.is_power_of_two());
             let log2 = self.plan.stack_size.trailing_zeros() as i32;
@@ -755,9 +775,6 @@ impl<'k> Codegen<'k> {
                 self.op(AluOp::Sub, SP, SP, t1);
             }
         }
-
-        self.free.push(t0);
-        self.free.push(t1);
         Ok(())
     }
 

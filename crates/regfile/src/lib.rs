@@ -127,6 +127,68 @@ pub const MAX_LANES: usize = 64;
 const STRIDE_MIN: i64 = -32;
 const STRIDE_MAX: i64 = 31;
 
+/// A warp-wide operand in its *compact* form — the typed counterpart of
+/// the SRF/VRF split. The execute stage reads operands in this
+/// representation and, when every input is compact, computes the result
+/// once per warp instead of once per lane (the simulator-side use of the
+/// paper's §3.1 inter-thread value regularity).
+///
+/// Lane contract: `Uniform(v)` is `v` in every lane (full 64-bit value);
+/// `Affine { base, stride }` is
+/// `(base as u32).wrapping_add((stride as u32).wrapping_mul(i))` in lane
+/// `i`, zero-extended — affine vectors live in the 32-bit data domain and
+/// `base` is exactly the lane-0 value; `Vector` is one element per lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperandVec {
+    /// Every lane holds the same value.
+    Uniform(u64),
+    /// `base + lane · stride`, modulo 2³².
+    Affine {
+        /// Lane-0 value (already truncated to the 32-bit data domain).
+        base: u64,
+        /// Per-lane increment, modulo 2³² (any congruent value is valid).
+        stride: i64,
+    },
+    /// Irregular: one element per lane (only the first `lanes` are live).
+    Vector(Box<[u64]>),
+}
+
+/// The capability-metadata analogue of [`OperandVec`]: the metadata
+/// register file detects no affine vectors, so a metadata operand is only
+/// ever `Uniform` or `Vector` (an NVO `PartialNull` entry expands to
+/// `Vector` — its lanes differ).
+pub type MetaVec = OperandVec;
+
+impl OperandVec {
+    /// Expand into `out` (one element per lane), following the lane
+    /// contract above.
+    pub fn expand_into(&self, out: &mut [u64]) {
+        match *self {
+            OperandVec::Uniform(v) => out.fill(v),
+            OperandVec::Affine { base, stride } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = (base as u32).wrapping_add((stride as u32).wrapping_mul(i as u32)) as u64;
+                }
+            }
+            OperandVec::Vector(ref v) => out.copy_from_slice(&v[..out.len()]),
+        }
+    }
+}
+
+/// Residency class of a register, as seen *without* disturbing spill
+/// state — the pre-issue classifier's view. `Uniform` and `Affine` are
+/// compact SRF entries; `Vector` covers VRF-resident, spilled, and NVO
+/// partial-null entries (their lanes differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandClass {
+    /// Compact: every lane equal.
+    Uniform,
+    /// Compact: `base + lane · stride`.
+    Affine,
+    /// Uncompressed (or partial-null): lanes differ.
+    Vector,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Entry {
     /// `base + lane * stride` (stride 0 = uniform).
@@ -450,6 +512,152 @@ impl CompressedRegFile {
         matches!(self.entries[idx], Entry::Vector { .. } | Entry::Spilled(_))
     }
 
+    /// Residency class of a register without touching spill state — what
+    /// the execute stage's pre-issue classifier sees. Pure: repeated calls
+    /// return the same answer until the register is written.
+    pub fn class_of(&self, warp: u32, reg: u32) -> OperandClass {
+        match self.entries[(warp * self.cfg.arch_regs + reg) as usize] {
+            Entry::Scalar { stride: 0, .. } => OperandClass::Uniform,
+            Entry::Scalar { .. } => OperandClass::Affine,
+            Entry::PartialNull { .. } | Entry::Vector { .. } | Entry::Spilled(_) => {
+                OperandClass::Vector
+            }
+        }
+    }
+
+    /// Read a register in its stored form, without expanding compact
+    /// entries. Spill/fill behaviour and the returned [`ReadInfo`] are
+    /// identical to [`Self::read`]; only the shape of the result differs —
+    /// a `Scalar` SRF entry comes back as `Uniform`/`Affine` with **no**
+    /// per-lane work, everything else is expanded into a `Vector`.
+    pub fn read_compact(&mut self, warp: u32, reg: u32) -> (OperandVec, ReadInfo) {
+        let idx = self.idx(warp, reg);
+        let (fills, spills) = self.fill(idx);
+        match self.entries[idx] {
+            Entry::Scalar { base, stride: 0 } => {
+                (OperandVec::Uniform(base), ReadInfo { from_vrf: false, fills, spills })
+            }
+            Entry::Scalar { base, stride } => (
+                // `base` in the entry is the full first-written value; the
+                // lane-0 contract truncates to the 32-bit data domain,
+                // exactly as `expand_into` does.
+                OperandVec::Affine { base: (base as u32) as u64, stride: stride as i64 },
+                ReadInfo { from_vrf: false, fills, spills },
+            ),
+            ref e => {
+                let from_vrf = matches!(e, Entry::Vector { .. });
+                let lanes = self.cfg.lanes as usize;
+                let mut out = vec![0u64; lanes];
+                let e = e.clone();
+                self.expand_into(&e, &mut out);
+                (OperandVec::Vector(out.into_boxed_slice()), ReadInfo { from_vrf, fills, spills })
+            }
+        }
+    }
+
+    /// Write a register from its compact form, without re-running the
+    /// compressor scan when the result is already known compact. For every
+    /// `(value, mask)` this is **bit-identical** to expanding `value` and
+    /// calling [`Self::write`] — same entry, same statistics, same
+    /// [`WriteInfo`] (asserted by the `compact_*` unit tests below and the
+    /// core's differential property test):
+    ///
+    /// * full-mask `Uniform` is a compact SRF store (uniform vectors always
+    ///   compress, whatever the configuration);
+    /// * full-mask `Affine` with a representable stride is a compact SRF
+    ///   store when the file detects affine vectors (strides are compared
+    ///   modulo 2³², like the compressor's comparators);
+    /// * everything else — partial masks, `Vector` operands, out-of-range
+    ///   strides — expands and takes the ordinary write path.
+    pub fn write_compact(
+        &mut self,
+        warp: u32,
+        reg: u32,
+        value: &OperandVec,
+        mask: u64,
+    ) -> WriteInfo {
+        let lanes = self.cfg.lanes as usize;
+        let full_mask = u64::MAX >> (64 - lanes);
+        // Normalise the compact forms: a one-lane or stride-≡-0 affine is
+        // uniform over the active lanes (with `base` already the lane-0
+        // value by the contract).
+        let norm = match *value {
+            OperandVec::Affine { base, stride } => {
+                let stride = (stride as u32) as i32 as i64;
+                if stride == 0 || lanes == 1 {
+                    Some(OperandVec::Uniform(base))
+                } else {
+                    Some(OperandVec::Affine { base, stride })
+                }
+            }
+            ref v => Some(v.clone()),
+        };
+        if mask & full_mask == full_mask {
+            match norm {
+                Some(OperandVec::Uniform(v)) => {
+                    let idx = self.idx(warp, reg);
+                    if v != self.cfg.null_value.unwrap_or(0) {
+                        self.ever_nonnull[warp as usize] |= 1 << reg;
+                    }
+                    if let Entry::Vector { slot } = self.entries[idx] {
+                        self.free.push(slot);
+                        self.resident -= 1;
+                    }
+                    self.entries[idx] = Entry::Scalar { base: v, stride: 0 };
+                    self.stats.scalar_writes += 1;
+                    return WriteInfo { to_srf: true, ..WriteInfo::default() };
+                }
+                Some(OperandVec::Affine { base, stride })
+                    if self.cfg.detect_affine && (STRIDE_MIN..=STRIDE_MAX).contains(&stride) =>
+                {
+                    let idx = self.idx(warp, reg);
+                    // Two distinct lane values exist (stride ≢ 0, lanes ≥ 2),
+                    // so some lane differs from the null value.
+                    self.ever_nonnull[warp as usize] |= 1 << reg;
+                    if let Entry::Vector { slot } = self.entries[idx] {
+                        self.free.push(slot);
+                        self.resident -= 1;
+                    }
+                    self.entries[idx] = Entry::Scalar { base, stride: stride as i8 };
+                    self.stats.scalar_writes += 1;
+                    return WriteInfo { to_srf: true, ..WriteInfo::default() };
+                }
+                _ => {}
+            }
+        }
+        let mut buf = [0u64; MAX_LANES];
+        value.expand_into(&mut buf[..lanes]);
+        self.write(warp, reg, &buf, mask)
+    }
+
+    /// [`Self::write_compact`] with structured tracing — the compact
+    /// counterpart of [`Self::write_traced`], emitting the same
+    /// [`TraceEvent::RfTransition`] on residency-class changes.
+    pub fn write_compact_traced(
+        &mut self,
+        warp: u32,
+        reg: u32,
+        value: &OperandVec,
+        mask: u64,
+        cycle: u64,
+        sink: &mut dyn EventSink,
+    ) -> WriteInfo {
+        let idx = self.idx(warp, reg);
+        let was_vector = self.is_vector_class(idx);
+        let info = self.write_compact(warp, reg, value, mask);
+        let is_vector = self.is_vector_class(idx);
+        if was_vector != is_vector {
+            sink.emit(TraceEvent::RfTransition {
+                cycle,
+                warp,
+                rf: self.rf_kind(),
+                reg,
+                to_vector: is_vector,
+            });
+        }
+        info
+    }
+
     /// Which kind of register file this is, for trace attribution (33-bit
     /// elements mark the capability-metadata file).
     fn rf_kind(&self) -> RfKind {
@@ -668,6 +876,123 @@ mod tests {
             ) => {}
             other => panic!("unexpected events: {other:?}"),
         }
+    }
+
+    /// `write_compact` must be bit-identical to expand-then-`write` on two
+    /// clones of the same file: same read-back, same entry class, same
+    /// statistics, same `WriteInfo`.
+    fn assert_write_equivalent(cfg: RfConfig, value: &OperandVec, mask: u64) {
+        let lanes = cfg.lanes as usize;
+        let mut compact = CompressedRegFile::new(cfg);
+        let mut classic = CompressedRegFile::new(cfg);
+        // Pre-occupy the register with an irregular vector so slot-freeing
+        // behaviour is exercised too.
+        let junk: Vec<u64> = (0..lanes as u64).map(|i| i * i + 3).collect();
+        compact.write(0, 9, &junk, u64::MAX);
+        classic.write(0, 9, &junk, u64::MAX);
+
+        let info_c = compact.write_compact(0, 9, value, mask);
+        let mut expanded = vec![0u64; lanes];
+        value.expand_into(&mut expanded);
+        let info_v = classic.write(0, 9, &expanded, mask);
+
+        assert_eq!(info_c, info_v, "{value:?} mask {mask:#x}");
+        assert_eq!(compact.stats(), classic.stats(), "{value:?} mask {mask:#x}");
+        assert_eq!(compact.vrf_resident(), classic.vrf_resident());
+        assert_eq!(compact.class_of(0, 9), classic.class_of(0, 9));
+        assert_eq!(compact.max_nonnull_regs(), classic.max_nonnull_regs());
+        let (mut a, mut b) = (vec![0u64; lanes], vec![0u64; lanes]);
+        compact.read(0, 9, &mut a);
+        classic.read(0, 9, &mut b);
+        assert_eq!(a, b, "{value:?} mask {mask:#x}");
+    }
+
+    #[test]
+    fn compact_writes_match_classic_writes() {
+        for mask in [u64::MAX, 0x0F, 0] {
+            for value in [
+                OperandVec::Uniform(0),
+                OperandVec::Uniform(42),
+                OperandVec::Affine { base: 100, stride: 4 },
+                OperandVec::Affine { base: 7, stride: -3 },
+                OperandVec::Affine { base: 1, stride: 1000 }, // out of range
+                OperandVec::Affine { base: 5, stride: 0 },    // uniform in disguise
+                OperandVec::Affine { base: 3, stride: u32::MAX as i64 }, // ≡ -1 mod 2³²
+                OperandVec::Vector((0..8).map(|i| i * i).collect()),
+                OperandVec::Vector(vec![9; 8].into_boxed_slice()),
+            ] {
+                assert_write_equivalent(cfg(), &value, mask);
+            }
+            // Metadata file: no affine detection, NVO on and off.
+            for nvo in [true, false] {
+                for value in [
+                    OperandVec::Uniform(NULL_META),
+                    OperandVec::Uniform(0x1_2345_6789),
+                    OperandVec::Affine { base: 2, stride: 1 }, // must fall back
+                ] {
+                    assert_write_equivalent(RfConfig::meta(1, 8, 4, nvo), &value, mask);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_reads_match_classic_reads() {
+        let mut rf = CompressedRegFile::new(cfg());
+        rf.write(0, 1, &vals(|_| 77), u64::MAX);
+        rf.write(0, 2, &vals(|i| 50 + 2 * i as u64), u64::MAX);
+        rf.write(0, 3, &vals(|i| (i * i) as u64), u64::MAX);
+        assert_eq!(rf.class_of(0, 1), OperandClass::Uniform);
+        assert_eq!(rf.class_of(0, 2), OperandClass::Affine);
+        assert_eq!(rf.class_of(0, 3), OperandClass::Vector);
+        for reg in 1..=3 {
+            let (v, info_c) = rf.clone().read_compact(0, reg);
+            let mut classic = [0u64; 8];
+            let info_v = rf.read(0, reg, &mut classic);
+            assert_eq!(info_c, info_v, "reg {reg}");
+            let mut expanded = [0u64; 8];
+            v.expand_into(&mut expanded);
+            assert_eq!(expanded, classic, "reg {reg}");
+        }
+        assert!(matches!(rf.clone().read_compact(0, 1).0, OperandVec::Uniform(77)));
+        assert!(matches!(
+            rf.clone().read_compact(0, 2).0,
+            OperandVec::Affine { base: 50, stride: 2 }
+        ));
+    }
+
+    #[test]
+    fn compact_read_fills_spilled_registers() {
+        let mut rf = CompressedRegFile::new(cfg()); // 4 slots
+        for r in 0..6 {
+            rf.write(0, r, &vals(|i| (i as u64) * 97 + r as u64), u64::MAX);
+        }
+        // Register 0 was spilled; a compact read fills it like `read`.
+        let spilled: Vec<u32> =
+            (0..6).filter(|&r| rf.class_of(0, r) == OperandClass::Vector).collect();
+        let r = spilled[0];
+        let (v, info) = rf.read_compact(0, r);
+        assert!(info.fills > 0 || info.from_vrf);
+        let mut out = [0u64; 8];
+        v.expand_into(&mut out);
+        assert_eq!(out[3], 3 * 97 + r as u64);
+    }
+
+    #[test]
+    fn compact_traced_writes_emit_residency_transitions() {
+        use simt_trace::VecSink;
+        let mut rf = CompressedRegFile::new(cfg());
+        let mut sink = VecSink::new();
+        rf.write_traced(0, 5, &vals(|i| (i * i) as u64), u64::MAX, 10, &mut sink);
+        assert_eq!(sink.events().len(), 1);
+        // Compact uniform overwrite: vector → scalar transition.
+        rf.write_compact_traced(0, 5, &OperandVec::Uniform(3), u64::MAX, 20, &mut sink);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(
+            evs[1],
+            TraceEvent::RfTransition { cycle: 20, reg: 5, to_vector: false, .. }
+        ));
     }
 
     #[test]

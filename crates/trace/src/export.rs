@@ -88,12 +88,13 @@ fn event_fields(ev: &TraceEvent, out: &mut String, first: &mut bool) {
             push_kv_num(out, "cycle", cycle, first);
             push_kv_num(out, "warps", warps as u64, first);
         }
-        TraceEvent::Issue { cycle, warp, pc, mask, mnemonic } => {
+        TraceEvent::Issue { cycle, warp, pc, mask, mnemonic, class } => {
             push_kv_num(out, "cycle", cycle, first);
             push_kv_num(out, "warp", warp as u64, first);
             push_kv_hex(out, "pc", pc as u64, first);
             push_kv_hex(out, "mask", mask, first);
             push_kv_str(out, "mnemonic", mnemonic, first);
+            push_kv_str(out, "class", class.name(), first);
         }
         TraceEvent::Stall { cycle, warp, cause, cycles } => {
             push_kv_num(out, "cycle", cycle, first);
@@ -388,12 +389,19 @@ pub fn to_chrome(cells: &[TraceCell]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MemSpace, RfKind};
+    use crate::{IssueClass, MemSpace, RfKind};
 
     fn sample() -> Vec<TraceEvent> {
         vec![
             TraceEvent::Launch { cycle: 0, warps: 2 },
-            TraceEvent::Issue { cycle: 1, warp: 0, pc: 0x8000_0000, mask: 0xFF, mnemonic: "lw" },
+            TraceEvent::Issue {
+                cycle: 1,
+                warp: 0,
+                pc: 0x8000_0000,
+                mask: 0xFF,
+                mnemonic: "lw",
+                class: IssueClass::PerLane,
+            },
             TraceEvent::Mem {
                 cycle: 1,
                 warp: 0,
@@ -429,6 +437,7 @@ mod tests {
         assert!(out.contains("\"type\":\"issue\""));
         assert!(out.contains("\"pc\":\"0x80000000\""));
         assert!(out.contains("\"cause\":\"idle\""));
+        assert!(out.contains("\"class\":\"per_lane\""));
     }
 
     #[test]
@@ -453,6 +462,7 @@ mod tests {
             pc: 0x8000_0004,
             mask: 1,
             mnemonic: "add",
+            class: IssueClass::Scalarised,
         });
         let cells = [TraceCell { label: "Two", events: &events }];
         let out = to_chrome(&cells);

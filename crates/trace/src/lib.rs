@@ -99,6 +99,31 @@ impl MemSpace {
     }
 }
 
+/// How the execute stage ran one issued instruction: once per warp over
+/// compact (uniform/affine) operands, or once per active lane. Decided by
+/// a pure pre-issue classifier, so the class on the [`TraceEvent::Issue`]
+/// event always agrees with what execute did and with the
+/// `KernelStats::scalarised_issues` counter it mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueClass {
+    /// Warp-wide fast path: the result was computed once for the whole
+    /// warp from compact operands.
+    Scalarised,
+    /// Lane-wise execution (divergent operands, memory operations,
+    /// barriers, traps — anything off the fast path).
+    PerLane,
+}
+
+impl IssueClass {
+    /// Stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IssueClass::Scalarised => "scalarised",
+            IssueClass::PerLane => "per_lane",
+        }
+    }
+}
+
 /// Which register file a residency transition happened in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RfKind {
@@ -145,6 +170,10 @@ pub enum TraceEvent {
         mask: u64,
         /// Instruction mnemonic.
         mnemonic: &'static str,
+        /// How execute ran it: warp-wide over compact operands
+        /// (`Scalarised` issues mirror `KernelStats::scalarised_issues`)
+        /// or lane-wise.
+        class: IssueClass,
     },
     /// Cycles lost to a pipeline stall, attributed to one cause.
     Stall {
@@ -404,7 +433,14 @@ mod tests {
     use super::*;
 
     fn issue(cycle: u64) -> TraceEvent {
-        TraceEvent::Issue { cycle, warp: 0, pc: 0x8000_0000, mask: 0xF, mnemonic: "add" }
+        TraceEvent::Issue {
+            cycle,
+            warp: 0,
+            pc: 0x8000_0000,
+            mask: 0xF,
+            mnemonic: "add",
+            class: IssueClass::PerLane,
+        }
     }
 
     #[test]
@@ -453,5 +489,7 @@ mod tests {
         assert_eq!(ev.warp(), None);
         assert_eq!(issue(1).warp(), Some(0));
         assert_eq!(StallCause::SharedVrfConflict.name(), "shared_vrf_conflict");
+        assert_eq!(IssueClass::Scalarised.name(), "scalarised");
+        assert_eq!(IssueClass::PerLane.name(), "per_lane");
     }
 }

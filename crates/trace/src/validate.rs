@@ -41,6 +41,26 @@ fn check_num(obj: &Value, key: &str, ctx: &str) -> Result<(), String> {
     }
 }
 
+/// The execution classes an `issue` event may carry (mirrors
+/// `IssueClass::name`).
+const ISSUE_CLASSES: &[&str] = &["scalarised", "per_lane"];
+
+/// Typed-payload checks beyond the numeric required fields: `issue` events
+/// must say how they executed, so the scalarisation rate is recoverable
+/// from any validated trace.
+fn check_typed(obj: &Value, ty: &str, ctx: &str) -> Result<(), String> {
+    if ty == "issue" {
+        let class = obj
+            .get("class")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{ctx}: issue missing string 'class'"))?;
+        if !ISSUE_CLASSES.contains(&class) {
+            return Err(format!("{ctx}: unknown issue class '{class}'"));
+        }
+    }
+    Ok(())
+}
+
 /// Validate a Chrome trace-event file: a JSON object with a `traceEvents`
 /// array in which every entry has `ph`/`pid`/`name`, duration events have
 /// numeric `ts` (and `dur` for `"X"`), and `args` payloads of typed events
@@ -106,6 +126,7 @@ pub fn validate_chrome(input: &str) -> Result<Summary, String> {
             if !JSONL_REQUIRED.iter().any(|(name, _)| *name == ty) {
                 return Err(format!("{ctx}: unknown event type '{ty}'"));
             }
+            check_typed(args, ty, &ctx)?;
         }
     }
     summary.processes = pids.len() as u64;
@@ -143,6 +164,7 @@ pub fn validate_jsonl(input: &str) -> Result<Summary, String> {
         for field in required {
             check_num(&obj, field, &ctx)?;
         }
+        check_typed(&obj, &ty, &ctx)?;
         summary.events += 1;
     }
     Ok(summary)
@@ -170,12 +192,19 @@ pub fn validate_auto(input: &str) -> Result<(&'static str, Summary), String> {
 mod tests {
     use super::*;
     use crate::export::{to_chrome, to_jsonl, TraceCell};
-    use crate::TraceEvent;
+    use crate::{IssueClass, TraceEvent};
 
     fn events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::Launch { cycle: 0, warps: 4 },
-            TraceEvent::Issue { cycle: 1, warp: 2, pc: 0x8000_0010, mask: 0x3, mnemonic: "addi" },
+            TraceEvent::Issue {
+                cycle: 1,
+                warp: 2,
+                pc: 0x8000_0010,
+                mask: 0x3,
+                mnemonic: "addi",
+                class: IssueClass::Scalarised,
+            },
             TraceEvent::Barrier { cycle: 5, warp: 2, release: false },
         ]
     }
@@ -216,6 +245,17 @@ mod tests {
         assert!(
             validate_jsonl("{\"cell\":\"c\",\"type\":\"issue\",\"cycle\":1}\n").is_err(),
             "issue without warp must fail"
+        );
+        assert!(
+            validate_jsonl("{\"cell\":\"c\",\"type\":\"issue\",\"cycle\":1,\"warp\":0}\n").is_err(),
+            "issue without class must fail"
+        );
+        assert!(
+            validate_jsonl(
+                "{\"cell\":\"c\",\"type\":\"issue\",\"cycle\":1,\"warp\":0,\"class\":\"weird\"}\n"
+            )
+            .is_err(),
+            "unknown issue class must fail"
         );
     }
 }
