@@ -7,6 +7,7 @@
 //!        repro validate-trace <file>
 //!        repro perf [benchmark|all] [--paper] [--jobs N] [--sms N] [--perf-out FILE]
 //!        repro validate-perf <file>
+//!        repro faults [benchmark|all] [--quick] [--jobs N] [--seed S]
 //! ```
 //!
 //! Without `--quick`, experiments run at the paper's geometry (64 warps ×
@@ -37,13 +38,22 @@
 //! geometry with `--paper` as the opt-in. `validate-perf` checks a
 //! `BENCH_sim.json` against the schema (the CI smoke step).
 //!
+//! `faults` runs the CHERI fault-injection coverage experiment: every
+//! requested benchmark under every injection scheme × trap policy cell
+//! (quick geometry), plus a directed probe per trap cause, ending in a
+//! coverage table that must show all ten capability exceptions and every
+//! memory-fault variant firing. `--quick` swaps the full suite for a
+//! four-benchmark subset (the CI smoke step); `--seed S` re-seeds the
+//! injection campaign. Exits non-zero if any cause never fired.
+//!
 //! [Perfetto]: https://ui.perfetto.dev
 
 use repro::{
-    ablate, default_jobs, disasm, export_runs, fig10, fig11, fig12, fig13, fig14, fig15, fig6,
-    fig7, multism, perf_json, perf_suite, perf_summary, resolve_benches, scalarise, table1, table2,
-    table3, tagsweep, trace_config, trace_suite_on, trace_summary, validate_perf_json, vrfsweep,
-    Geometry, Harness, TraceFormat,
+    ablate, default_jobs, disasm, export_runs, faults_experiment, faults_summary, fig10, fig11,
+    fig12, fig13, fig14, fig15, fig6, fig7, multism, perf_json, perf_suite, perf_summary,
+    quick_fault_benches, resolve_benches, scalarise, table1, table2, table3, tagsweep,
+    trace_config, trace_suite_on, trace_summary, validate_perf_json, vrfsweep, Geometry, Harness,
+    TraceFormat,
 };
 
 #[allow(clippy::too_many_lines)] // flag parsing + subcommand dispatch
@@ -57,6 +67,7 @@ fn main() {
     let mut format_name = String::from("chrome");
     let mut trace_out: Option<String> = None;
     let mut perf_out = String::from("BENCH_sim.json");
+    let mut seed = 0xCAFE_F00Du64;
     let mut what: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -97,6 +108,14 @@ fn main() {
             trace_out = Some(v);
         } else if let Some(v) = take("--perf-out") {
             perf_out = v;
+        } else if let Some(v) = take("--seed") {
+            match v.parse::<u64>() {
+                Ok(n) => seed = n,
+                Err(_) => {
+                    eprintln!("--seed needs an unsigned integer");
+                    std::process::exit(2);
+                }
+            }
         } else {
             match a.as_str() {
                 "--quick" => quick = true,
@@ -256,6 +275,39 @@ fn main() {
                 eprintln!("usage: repro validate-perf <file>");
                 std::process::exit(2);
             }
+        }
+        return;
+    }
+
+    // Fault-injection coverage: repro faults [benchmark|all] [--quick]
+    // [--jobs N] [--seed S]. Always runs at the quick geometry — the matrix
+    // is about trap coverage, not timing.
+    if what.first() == Some(&"faults") {
+        let bench = match what.as_slice() {
+            [_] => None,
+            [_, bench] => Some(*bench),
+            _ => {
+                eprintln!("usage: repro faults [benchmark|all] [--quick] [--jobs N] [--seed S]");
+                std::process::exit(2);
+            }
+        };
+        let benches = match bench {
+            Some(name) => resolve_benches(name).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+            None if quick => quick_fault_benches(),
+            None => resolve_benches("all").expect("'all' always resolves"),
+        };
+        eprintln!(
+            "[repro] injecting faults into {} benchmark(s) x 4 scheme(s) x 2 policies on {jobs} worker(s) ...",
+            benches.len()
+        );
+        let report = faults_experiment(&benches, jobs, seed);
+        print!("{}", faults_summary(&report));
+        if !report.covered() {
+            eprintln!("[repro] FAIL: trap causes never fired: {}", report.missing().join(", "));
+            std::process::exit(1);
         }
         return;
     }

@@ -9,11 +9,16 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod faults;
 mod perf;
 mod runner;
 mod trace;
 
 pub use experiments::*;
+pub use faults::{
+    faults_experiment, faults_summary, quick_fault_benches, required_causes, run_probes,
+    CellOutcome, FaultsReport, MatrixCell, ProbeResult,
+};
 pub use perf::{
     perf_json, perf_suite, perf_summary, validate_perf_json, PerfCell, PerfReport, PERF_CONFIGS,
 };

@@ -208,6 +208,7 @@ pub fn reconcile(events: &[TraceEvent], stats: &KernelStats) -> Result<(), Strin
     let (mut dram_reads, mut dram_writes, mut dram_tags) = (0u64, 0u64, 0u64);
     let (mut scratch_accesses, mut scratch_conflicts, mut stack_hits) = (0u64, 0u64, 0u64);
     let (mut csc, mut vrf, mut spill, mut flit, mut idle) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut traps, mut faulting_lanes, mut suppressed) = (0u64, 0u64, 0u64);
     for e in events {
         match *e {
             TraceEvent::Issue { mask, class, .. } => {
@@ -242,6 +243,11 @@ pub fn reconcile(events: &[TraceEvent], stats: &KernelStats) -> Result<(), Strin
                 StallCause::CapMultiFlit => flit += cycles,
                 StallCause::Idle => idle += cycles,
             },
+            TraceEvent::Trap { mask, suppressed: s, .. } => {
+                traps += 1;
+                faulting_lanes += u64::from(mask.count_ones());
+                suppressed += u64::from(s);
+            }
             TraceEvent::Launch { .. }
             | TraceEvent::RfTransition { .. }
             | TraceEvent::Barrier { release: true, .. } => {}
@@ -270,6 +276,13 @@ pub fn reconcile(events: &[TraceEvent], stats: &KernelStats) -> Result<(), Strin
     check("spill_fill stall cycles", spill, stats.stalls.spill_fill)?;
     check("cap_multi_flit stall cycles", flit, stats.stalls.cap_multi_flit)?;
     check("idle stall cycles", idle, stats.stalls.idle)?;
+    check("trap events vs faults.traps", traps, stats.faults.traps)?;
+    check(
+        "trap lane popcounts vs faults.faulting_lanes",
+        faulting_lanes,
+        stats.faults.faulting_lanes,
+    )?;
+    check("suppressed trap events vs faults.suppressed", suppressed, stats.faults.suppressed)?;
     Ok(())
 }
 

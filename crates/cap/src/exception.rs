@@ -31,6 +31,40 @@ pub enum CapException {
     InexactBounds,
 }
 
+impl CapException {
+    /// Every variant, in declaration order — drives exhaustive fault
+    /// injection and the `repro faults` coverage table.
+    pub const ALL: [CapException; 10] = [
+        CapException::TagViolation,
+        CapException::SealViolation,
+        CapException::BoundsViolation,
+        CapException::PermitLoadViolation,
+        CapException::PermitStoreViolation,
+        CapException::PermitExecuteViolation,
+        CapException::PermitLoadCapViolation,
+        CapException::PermitStoreCapViolation,
+        CapException::AlignmentViolation,
+        CapException::InexactBounds,
+    ];
+
+    /// A stable machine-readable name (used by trace events and coverage
+    /// tables; the `Display` impl stays human-oriented).
+    pub fn name(self) -> &'static str {
+        match self {
+            CapException::TagViolation => "tag",
+            CapException::SealViolation => "seal",
+            CapException::BoundsViolation => "bounds",
+            CapException::PermitLoadViolation => "permit_load",
+            CapException::PermitStoreViolation => "permit_store",
+            CapException::PermitExecuteViolation => "permit_execute",
+            CapException::PermitLoadCapViolation => "permit_load_cap",
+            CapException::PermitStoreCapViolation => "permit_store_cap",
+            CapException::AlignmentViolation => "alignment",
+            CapException::InexactBounds => "inexact_bounds",
+        }
+    }
+}
+
 impl fmt::Display for CapException {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

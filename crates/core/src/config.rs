@@ -75,6 +75,24 @@ impl CheriOpts {
     }
 }
 
+/// What the SM does when a warp traps.
+///
+/// Policies only affect *delivery*; detection is always warp-precise (the
+/// memory stage checks every active lane before committing any of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrapPolicy {
+    /// Abort the kernel on the first trap, reporting the full faulting-lane
+    /// set. No lane of the faulting warp commits any architectural effect
+    /// for the trapping instruction.
+    #[default]
+    Abort,
+    /// Permanently disable the faulting lanes and keep the warp running.
+    /// Each suppressed fault is recorded in the SM's fault log and counted
+    /// in [`crate::FaultStats`]. Warp-wide faults (fetch, illegal
+    /// instruction) disable the whole warp.
+    MaskLanes,
+}
+
 /// Timing constants of the pipeline model, kept together for calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
@@ -127,6 +145,8 @@ pub struct SmConfig {
     /// uniform/affine spill vectors are cached compactly instead of going
     /// to DRAM. Off by default, as in the paper's evaluated configurations.
     pub stack_cache: bool,
+    /// What to do when a warp traps (default: abort the kernel).
+    pub trap_policy: TrapPolicy,
 }
 
 impl SmConfig {
@@ -154,6 +174,7 @@ impl SmConfig {
             tag_cache: TagCacheConfig::default(),
             timing: Timing::default(),
             stack_cache: false,
+            trap_policy: TrapPolicy::default(),
         }
     }
 

@@ -54,6 +54,25 @@ impl StallBreakdown {
     }
 }
 
+/// Trap and fault counters (the trap-precision subsystem).
+///
+/// `traps` counts warp-precise trap deliveries; `faulting_lanes` sums the
+/// popcount of each trap's faulting-lane mask (a single trap can attribute
+/// many lanes); `suppressed` counts traps absorbed by
+/// `TrapPolicy::MaskLanes` (their lanes disabled, the warp kept running).
+/// Under the default `Abort` policy a kernel either finishes with all three
+/// zero or aborts on its first trap, so these counters never perturb the
+/// golden-stats fingerprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Warp-precise traps raised (delivered or suppressed).
+    pub traps: u64,
+    /// Total faulting lanes across all traps.
+    pub faulting_lanes: u64,
+    /// Traps suppressed under `TrapPolicy::MaskLanes`.
+    pub suppressed: u64,
+}
+
 /// Statistics of one kernel run.
 ///
 /// `PartialEq` (not `Eq` — two fields are time-averaged `f64`s) lets the
@@ -145,6 +164,8 @@ pub struct KernelStats {
     /// the fast path is bit-identical to the lane-wise one, so this counter
     /// never changes any other statistic.
     pub scalarised_issues: u64,
+    /// Trap/fault counters — see [`FaultStats`]. All-zero on a clean run.
+    pub faults: FaultStats,
 }
 
 impl KernelStats {
@@ -234,6 +255,9 @@ impl KernelStats {
         self.barriers += other.barriers;
         self.stack_cache_hits += other.stack_cache_hits;
         self.scalarised_issues += other.scalarised_issues;
+        self.faults.traps += other.faults.traps;
+        self.faults.faulting_lanes += other.faults.faulting_lanes;
+        self.faults.suppressed += other.faults.suppressed;
     }
 }
 

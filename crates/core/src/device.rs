@@ -213,11 +213,25 @@ impl Device {
     /// # Errors
     ///
     /// The first SM to trap, dead-lock or time out aborts the whole run
-    /// with its error (deterministic, because the arbitration is).
+    /// with its error (deterministic, because the arbitration is). A
+    /// trapped device stays queryable: every SM that ran — including the
+    /// trapped one — has its partial statistics snapshotted, so
+    /// [`Device::sm_stats`] and [`Device::stats`] report the state at the
+    /// moment of the fault instead of panicking.
     pub fn run(&mut self, max_cycles: u64) -> Result<KernelStats, RunError> {
         if self.shared.is_none() {
             // Single SM: the classic path, bit-identical to `Sm::run`.
-            let stats = self.sms[0].run(max_cycles)?;
+            let stats = match self.sms[0].run(max_cycles) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Snapshot the partial counters so the device stays
+                    // queryable after the trap.
+                    let partial = self.sms[0].finalise();
+                    self.sm_stats[0] = Some(partial.clone());
+                    self.stats = partial;
+                    return Err(e);
+                }
+            };
             self.sm_stats[0] = Some(stats.clone());
             self.stats = stats.clone();
             return Ok(stats);
@@ -232,7 +246,18 @@ impl Device {
             let outcome = match self.sms[k].step(max_cycles) {
                 Ok(o) => o,
                 Err(e) => {
+                    // Finalise the trapped SM while the shared subsystem is
+                    // still installed (its snapshot sees the live
+                    // counters), then take partial snapshots of the other
+                    // still-running SMs so the whole device is queryable.
+                    self.sm_stats[k] = Some(self.sms[k].finalise());
                     self.uninstall(k);
+                    for &other in &live {
+                        if other != k {
+                            self.sm_stats[other] = Some(self.sms[other].finalise());
+                        }
+                    }
+                    self.stats = self.combine();
                     return Err(e);
                 }
             };
@@ -266,11 +291,13 @@ impl Device {
     /// residency averages are issue-weighted, peaks take the maximum, and
     /// the shared `dram`/`tag_cache` counters are read once from the
     /// shared subsystem rather than summed across per-SM snapshots.
+    /// Tolerates missing per-SM snapshots (an aborted run combines only
+    /// the SMs that have one).
     fn combine(&self) -> KernelStats {
         let mut out = KernelStats::default();
         let mut weighted_data = 0.0;
         let mut weighted_meta = 0.0;
-        for s in self.sm_stats.iter().map(|s| s.as_ref().expect("all SMs finished")) {
+        for s in self.sm_stats.iter().flatten() {
             out.cycles = out.cycles.max(s.cycles);
             out.instrs += s.instrs;
             out.thread_instrs += s.thread_instrs;
@@ -304,14 +331,18 @@ impl Device {
             out.sfu_requests += s.sfu_requests;
             out.barriers += s.barriers;
             out.stack_cache_hits += s.stack_cache_hits;
+            out.faults.traps += s.faults.traps;
+            out.faults.faulting_lanes += s.faults.faulting_lanes;
+            out.faults.suppressed += s.faults.suppressed;
         }
         if out.instrs > 0 {
             out.avg_data_vrf_resident = weighted_data / out.instrs as f64;
             out.avg_meta_vrf_resident = weighted_meta / out.instrs as f64;
         }
-        let sh = self.shared.as_ref().expect("combine() is multi-SM only");
-        out.dram = sh.dram.stats();
-        out.tag_cache = sh.tags.stats();
+        if let Some(sh) = &self.shared {
+            out.dram = sh.dram.stats();
+            out.tag_cache = sh.tags.stats();
+        }
         out
     }
 }
@@ -357,6 +388,46 @@ mod tests {
         assert_eq!(stats.instrs, s0.instrs + s1.instrs);
         assert_eq!(stats.cycles, s0.cycles.max(s1.cycles));
         assert!(stats.dram.write_transactions > 0);
+    }
+
+    /// One SM of a two-SM device traps (its harts take the faulting
+    /// branch); the device reports the trap *and* stays queryable — both
+    /// SMs have statistics snapshots and the combined stats are populated.
+    #[test]
+    fn trapped_device_stays_queryable() {
+        use simt_isa::{BranchCond, LoadWidth};
+        let cfg = SmConfig::small(CheriMode::Off);
+        let threads = cfg.threads();
+        let mut dev = Device::new(cfg, 2);
+        let prog: Vec<u32> = [
+            Instr::Csrrs { rd: Reg::A0, csr: csr::MHARTID, rs1: Reg::ZERO },
+            Instr::OpImm { op: AluOp::Add, rd: Reg::A1, rs1: Reg::ZERO, imm: threads as i32 },
+            // Harts on SM 1 (global id >= threads) take the branch into an
+            // unmapped load; harts on SM 0 terminate cleanly.
+            Instr::Branch { cond: BranchCond::Geu, rs1: Reg::A0, rs2: Reg::A1, off: 8 },
+            Instr::Simt { op: SimtOp::Terminate },
+            Instr::Load { w: LoadWidth::W, rd: Reg::A2, rs1: Reg::ZERO, off: 0 },
+            Instr::Simt { op: SimtOp::Terminate },
+        ]
+        .iter()
+        .map(|i| i.encode())
+        .collect();
+        dev.load_program(&prog);
+        dev.reset();
+        let err = dev.run(100_000).expect_err("SM 1 must trap");
+        match &err {
+            RunError::Trap(t) => assert!(t.lane_mask != 0, "trap names faulting lanes"),
+            other => panic!("expected a trap, got {other:?}"),
+        }
+        // Both SMs are queryable after the trap: the trapped SM has a
+        // partial snapshot and the clean SM has whatever it got to.
+        let s0 = dev.sm_stats(0).expect("SM 0 snapshot");
+        let s1 = dev.sm_stats(1).expect("SM 1 snapshot");
+        assert!(s0.instrs > 0 && s1.instrs > 0);
+        let combined = dev.stats();
+        assert_eq!(combined.instrs, s0.instrs + s1.instrs);
+        assert_eq!(combined.faults.traps, 1);
+        assert!(combined.cycles > 0);
     }
 
     #[test]

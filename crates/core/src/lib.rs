@@ -58,14 +58,14 @@ mod sm;
 mod trap;
 pub mod warp;
 
-pub use config::{CheriMode, CheriOpts, SmConfig, Timing};
-pub use counters::{KernelStats, StallBreakdown};
+pub use config::{CheriMode, CheriOpts, SmConfig, Timing, TrapPolicy};
+pub use counters::{FaultStats, KernelStats, StallBreakdown};
 pub use device::Device;
 /// Structured tracing: re-exported so consumers can name sinks and events
 /// without depending on `simt-trace` directly.
 pub use simt_trace as trace;
 pub use sm::Sm;
-pub use trap::{RunError, Trap, TrapCause};
+pub use trap::{LaneFault, RunError, Trap, TrapCause};
 
 // Send audit: the parallel suite runner simulates one whole SM per worker
 // thread, so the simulator state — and everything it returns — must stay

@@ -10,14 +10,21 @@
 use super::scalar::expect_uniform;
 use super::Costs;
 use crate::sm::Sm;
+use crate::trap::{LaneFault, RunError, Trap, TrapCause};
 use crate::warp::Selection;
-use cheri_cap::{bounds, CapPipe, Perms};
+use cheri_cap::{bounds, CapException, CapPipe, Perms};
 use simt_isa::{scr, Instr, Reg, UnaryCapOp};
 use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
 
 impl Sm {
-    /// Execute one capability-class instruction (always writes `rd`, never
-    /// traps, sequential PC).
+    /// Execute one capability-class instruction (always writes `rd`,
+    /// sequential PC).
+    ///
+    /// # Errors
+    ///
+    /// `CSetBoundsExact` traps with `InexactBounds` when a tagged, unsealed
+    /// source capability is given an unrepresentable bounds request; no lane
+    /// commits on a trap (check-then-commit, as in the memory stage).
     pub(crate) fn exec_cap_class(
         &mut self,
         w: u32,
@@ -25,17 +32,24 @@ impl Sm {
         instr: Instr,
         fast: bool,
         costs: &mut Costs,
-    ) {
+    ) -> Result<(), RunError> {
         if fast {
-            self.exec_cap_fast(w, sel, instr, costs);
+            self.exec_cap_fast(w, sel, instr, costs)?;
         } else {
-            self.exec_cap_lanewise(w, sel, instr, costs);
+            self.exec_cap_lanewise(w, sel, instr, costs)?;
         }
         self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        Ok(())
     }
 
     /// The lane-wise reference path.
-    fn exec_cap_lanewise(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+    fn exec_cap_lanewise(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
         let mut a = [0u64; MAX_LANES];
@@ -126,6 +140,23 @@ impl Sm {
                 self.stats.count_cheri("CSetBoundsExact", 1);
                 self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
                 self.read_data(w, rs2, &mut b, costs);
+                // Check phase: a tagged, unsealed source with an
+                // unrepresentable request raises InexactBounds; no lane
+                // commits if any lane faults.
+                let mut faults: Vec<LaneFault> = Vec::new();
+                for i in active!() {
+                    let cap = Self::cap_of(am[i], a[i]);
+                    let (_, exact) = cap.set_bounds(b[i] as u32);
+                    if cap.tag() && !cap.is_sealed() && !exact {
+                        faults.push(LaneFault {
+                            lane: i as u32,
+                            cause: TrapCause::Cheri(CapException::InexactBounds),
+                        });
+                    }
+                }
+                if let Some(t) = Trap::from_lane_faults(w, sel.pc, faults) {
+                    return Err(t.into());
+                }
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).set_bounds_exact(b[i] as u32);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -157,10 +188,17 @@ impl Sm {
             _ => unreachable!("not a capability-class instruction"),
         };
         self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+        Ok(())
     }
 
     /// The warp-wide fast path: one capability computation per warp.
-    fn exec_cap_fast(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+    fn exec_cap_fast(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
         let mask = sel.mask;
         // Shape shared by the binary capability ops: histogram attribution,
         // uniform capability (+ scalar) operands, one computation, compact
@@ -211,9 +249,25 @@ impl Sm {
                 binary(self, "CSetBounds", cs1, Some(rs2), cd, true, &|c, b| c.set_bounds(b).0);
             }
             Instr::CSetBoundsExact { cd, cs1, rs2 } => {
-                binary(self, "CSetBoundsExact", cs1, Some(rs2), cd, true, &|c, b| {
-                    c.set_bounds_exact(b)
-                });
+                // Special-cased outside `binary`: the warp-uniform source
+                // means one representability verdict covers every lane, and
+                // an inexact request traps warp-wide before the commit.
+                self.stats.count_cheri("CSetBoundsExact", 1);
+                let (d, m) = self.read_cap_compact(w, cs1, costs);
+                let b = expect_uniform(&self.read_data_compact(w, rs2, costs)) as u32;
+                let cap = Self::cap_of(expect_uniform(&m), expect_uniform(&d));
+                let (_, exact) = cap.set_bounds(b);
+                if cap.tag() && !cap.is_sealed() && !exact {
+                    return Err(Trap::warp_wide(
+                        w,
+                        sel.mask,
+                        sel.pc,
+                        TrapCause::Cheri(CapException::InexactBounds),
+                    )
+                    .into());
+                }
+                self.cap_sfu_suspend(w, sel);
+                self.writeback_cap_uniform(w, cd, cap.set_bounds_exact(b), mask, costs);
             }
             Instr::CSetBoundsImm { cd, cs1, imm } => {
                 binary(self, "CSetBoundsImm", cs1, None, cd, true, &|c, _| c.set_bounds(imm).0);
@@ -225,6 +279,7 @@ impl Sm {
             }
             _ => unreachable!("not a capability-class instruction"),
         }
+        Ok(())
     }
 
     /// `CSpecialRW` source: the live PCC or a special capability register.

@@ -16,6 +16,7 @@
 //! system ops are handled here because they are never scalarised.
 
 use super::Costs;
+use crate::config::TrapPolicy;
 use crate::sm::Sm;
 use crate::trap::{RunError, Trap, TrapCause};
 use crate::warp::{Selection, ThreadStatus};
@@ -25,40 +26,77 @@ use simt_regfile::MAX_LANES;
 use simt_trace::{IssueClass, StallCause, TraceEvent};
 
 impl Sm {
-    pub(crate) fn trap(&self, w: u32, sel: &Selection, lane: u32, cause: TrapCause) -> Trap {
-        Trap { warp: w, lane, pc: sel.pc, cause }
+    /// Issue one instruction for warp `w`, applying the configured
+    /// [`TrapPolicy`] to any trap the pipeline raises: `Abort` delivers it
+    /// to the caller (ending the run), `MaskLanes` records it, disables the
+    /// faulting lanes and keeps the warp running. Either way the trap is
+    /// counted in [`crate::FaultStats`] and emitted as a `trap` trace event.
+    pub(crate) fn issue(&mut self, w: usize) -> Result<(), RunError> {
+        match self.issue_inner(w) {
+            Err(RunError::Trap(t)) => self.deliver_trap(t),
+            other => other,
+        }
     }
 
-    pub(crate) fn issue(&mut self, w: usize) -> Result<(), RunError> {
+    fn deliver_trap(&mut self, t: Trap) -> Result<(), RunError> {
+        let suppress = self.cfg.trap_policy == TrapPolicy::MaskLanes;
+        self.stats.faults.traps += 1;
+        self.stats.faults.faulting_lanes += t.lane_mask.count_ones() as u64;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(TraceEvent::Trap {
+                cycle: self.cycle,
+                warp: t.warp,
+                pc: t.pc,
+                mask: t.lane_mask,
+                cause: t.cause.name(),
+                suppressed: suppress,
+            });
+        }
+        if !suppress {
+            return Err(RunError::Trap(t));
+        }
+        // MaskLanes: permanently disable the faulting lanes; the surviving
+        // lanes re-issue the instruction (each suppression removes at least
+        // one active lane, so the warp always makes progress).
+        self.stats.faults.suppressed += 1;
+        let warp = &mut self.warps[t.warp as usize];
+        for lane in 0..warp.status.len() {
+            if t.lane_mask >> lane & 1 == 1 {
+                warp.status[lane] = ThreadStatus::Faulted;
+            }
+        }
+        self.suppressed.push(t);
+        Ok(())
+    }
+
+    fn issue_inner(&mut self, w: usize) -> Result<(), RunError> {
         let sel = self.warps[w].select().expect("issue() requires a selectable warp");
         let wid = w as u32;
 
-        // Fetch: one PCC bounds check per warp (Section 3.3).
+        // Fetch: one PCC bounds check per warp (Section 3.3), so a fetch
+        // fault attributes the whole selected mask.
         if self.cheri() {
             let pcc = Self::cap_of(sel.pcc_meta, sel.pc as u64);
             if let Err(e) = pcc.check_fetch(sel.pc) {
-                return Err(self
-                    .trap(wid, &sel, sel.mask.trailing_zeros(), TrapCause::Cheri(e))
-                    .into());
+                return Err(Trap::warp_wide(wid, sel.mask, sel.pc, TrapCause::Cheri(e)).into());
             }
         }
         if sel.pc < map::TCIM_BASE || ((sel.pc - map::TCIM_BASE) / 4) as usize >= self.imem.len() {
-            return Err(self
-                .trap(wid, &sel, sel.mask.trailing_zeros(), TrapCause::FetchOutOfRange(sel.pc))
-                .into());
+            return Err(
+                Trap::warp_wide(wid, sel.mask, sel.pc, TrapCause::FetchOutOfRange(sel.pc)).into()
+            );
         }
         let idx = ((sel.pc - map::TCIM_BASE) / 4) as usize;
         let instr = match self.imem[idx] {
             Some(i) => i,
             None => {
-                return Err(self
-                    .trap(
-                        wid,
-                        &sel,
-                        sel.mask.trailing_zeros(),
-                        TrapCause::IllegalInstr(self.imem_raw[idx]),
-                    )
-                    .into())
+                return Err(Trap::warp_wide(
+                    wid,
+                    sel.mask,
+                    sel.pc,
+                    TrapCause::IllegalInstr(self.imem_raw[idx]),
+                )
+                .into())
             }
         };
 
@@ -158,10 +196,7 @@ impl Sm {
             | Instr::CSetBounds { .. }
             | Instr::CSetBoundsExact { .. }
             | Instr::CSetBoundsImm { .. }
-            | Instr::CSpecialRw { .. } => {
-                self.exec_cap_class(w, sel, instr, fast, costs);
-                Ok(())
-            }
+            | Instr::CSpecialRw { .. } => self.exec_cap_class(w, sel, instr, fast, costs),
             Instr::Load { .. }
             | Instr::Store { .. }
             | Instr::Clc { .. }
@@ -308,9 +343,7 @@ impl Sm {
         let status_change = match instr {
             Instr::Fence => None,
             Instr::Ecall | Instr::Ebreak => {
-                return Err(self
-                    .trap(w, sel, sel.mask.trailing_zeros(), TrapCause::Environment)
-                    .into());
+                return Err(Trap::warp_wide(w, sel.mask, sel.pc, TrapCause::Environment).into());
             }
             Instr::Simt { op: SimtOp::Terminate } => Some(ThreadStatus::Terminated),
             Instr::Simt { op: SimtOp::Barrier } => {

@@ -11,7 +11,7 @@ use super::scalar::expect_uniform;
 use super::Costs;
 use crate::exec;
 use crate::sm::Sm;
-use crate::trap::{RunError, TrapCause};
+use crate::trap::{LaneFault, RunError, Trap, TrapCause};
 use crate::warp::Selection;
 use simt_isa::Instr;
 use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
@@ -86,16 +86,28 @@ impl Sm {
                 if cheri {
                     self.stats.count_cheri("CJALR", 1);
                     self.read_cap_operand(w, rs1, &mut a, &mut am, costs);
+                    // Check phase: fetch-check every active lane's target
+                    // before installing any lane's PCC metadata, so a trap
+                    // leaves the whole warp's PCC state untouched.
+                    let mut metas = [NULL_META; MAX_LANES];
+                    let mut faults: Vec<LaneFault> = Vec::new();
                     for i in active!() {
                         let cap = Self::cap_of(am[i], a[i]);
                         let target = (cap.addr().wrapping_add(off as u32)) & !1;
                         let cap = cap.unseal_sentry();
                         if let Err(e) = cap.check_fetch(target) {
-                            return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
+                            faults.push(LaneFault { lane: i as u32, cause: TrapCause::Cheri(e) });
+                            continue;
                         }
                         let (m, _) = Self::cap_parts(cap);
-                        self.warps[w as usize].set_pcc_meta(i, m);
+                        metas[i] = m;
                         next_pc[i] = target;
+                    }
+                    if let Some(t) = Trap::from_lane_faults(w, sel.pc, faults) {
+                        return Err(t.into());
+                    }
+                    for i in active!() {
+                        self.warps[w as usize].set_pcc_meta(i, metas[i]);
                     }
                     let link = Self::cap_of(sel.pcc_meta, sel.pc as u64)
                         .set_addr(sel.pc.wrapping_add(4))

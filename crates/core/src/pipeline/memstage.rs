@@ -8,7 +8,7 @@
 use super::Costs;
 use crate::exec;
 use crate::sm::Sm;
-use crate::trap::{RunError, TrapCause};
+use crate::trap::{LaneFault, RunError, Trap, TrapCause};
 use crate::warp::Selection;
 use cheri_cap::{AccessWidth, CapMem};
 use simt_isa::{LoadWidth, Reg};
@@ -52,34 +52,56 @@ impl Sm {
             }
         }
 
-        // Per-lane effective addresses + CHERI checks.
+        // Check phase: effective address, routing, CHERI/bounds-table and
+        // mapping checks for *every* active lane. Nothing commits unless
+        // the whole warp is clean, so traps are warp-precise and carry the
+        // full faulting-lane set.
         let mut eas = [0u32; MAX_LANES];
+        let mut faults: Vec<LaneFault> = Vec::new();
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
             let ea = (addr[i] as u32).wrapping_add(off as u32);
             eas[i] = ea;
+            let mut cause = None;
             if cheri {
                 let cap = Self::cap_of(addr_m[i], addr[i]);
-                if let Err(e) =
-                    cap.check_access(ea, AccessWidth::from_bytes(bytes), is_store, is_cap)
-                {
-                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                }
+                cause = cap
+                    .check_access(ea, AccessWidth::from_bytes(bytes), is_store, is_cap)
+                    .err()
+                    .map(TrapCause::Cheri);
             } else {
                 if let Some(t) = &self.bounds_table {
                     match t.translate(ea, bytes) {
                         Ok(real) => eas[i] = real,
-                        Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
+                        Err(c) => cause = Some(c),
                     }
                 }
-                if eas[i] % bytes != 0 {
-                    return Err(self
-                        .trap(w, sel, i as u32, TrapCause::Mem(MemFault::Misaligned(eas[i])))
-                        .into());
+                if cause.is_none() && eas[i] % bytes != 0 {
+                    cause = Some(TrapCause::Mem(MemFault::Misaligned(eas[i])));
                 }
             }
+            // Mapping probe: read-side checks are identical to write-side
+            // checks in both memories, so a non-mutating read catches every
+            // mapping fault the commit phase could hit.
+            if cause.is_none() {
+                cause = match (map::route(eas[i], self.cfg.dram_size), is_cap) {
+                    (map::Region::Dram, false) => self.mem.read(eas[i], bytes).err(),
+                    (map::Region::Dram, true) => self.mem.read_cap(eas[i]).err(),
+                    (map::Region::Scratch, false) => self.scratch.read(eas[i], bytes).err(),
+                    (map::Region::Scratch, true) => self.scratch.read_cap(eas[i]).err(),
+                    _ => Some(MemFault::Unmapped(eas[i])),
+                }
+                .map(TrapCause::Mem);
+            }
+            if let Some(c) = cause {
+                faults.push(LaneFault { lane: i as u32, cause: c });
+            }
+        }
+        if let Some(t) = Trap::from_lane_faults(w, sel.pc, faults) {
+            return Err(t.into());
         }
 
-        // Functional access + request collection.
+        // Commit phase: functional access + request collection. The check
+        // phase vouched for every lane, so no access below can fault.
         let mut dram_reqs: Vec<LaneRequest> = Vec::new();
         let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
         let mut results = [0u64; MAX_LANES];
@@ -141,7 +163,7 @@ impl Sm {
                 Ok(())
             })();
             if let Err(f) = res {
-                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
+                unreachable!("memory fault escaped the check phase: {f}");
             }
         }
 
@@ -183,28 +205,51 @@ impl Sm {
         } else {
             self.read_data(w, addr_reg, &mut addr, costs);
         }
-        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
-        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
-        let mut results = [0u64; MAX_LANES];
-        // Lanes perform their RMW in lane order, which defines the intra-warp
-        // atomicity order.
+        // Check phase: an AMO both loads and stores, so every active lane
+        // passes both CHERI checks plus the mapping probe before any lane's
+        // read-modify-write commits.
+        let mut eas = [0u32; MAX_LANES];
+        let mut faults: Vec<LaneFault> = Vec::new();
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
             let mut ea = addr[i] as u32;
+            let mut cause = None;
             if cheri {
                 let cap = Self::cap_of(addr_m[i], addr[i]);
-                // An AMO both loads and stores.
-                if let Err(e) = cap
+                cause = cap
                     .check_access(ea, AccessWidth::Word, false, false)
                     .and_then(|_| cap.check_access(ea, AccessWidth::Word, true, false))
-                {
-                    return Err(self.trap(w, sel, i as u32, TrapCause::Cheri(e)).into());
-                }
+                    .err()
+                    .map(TrapCause::Cheri);
             } else if let Some(t) = &self.bounds_table {
                 match t.translate(ea, 4) {
                     Ok(real) => ea = real,
-                    Err(c) => return Err(self.trap(w, sel, i as u32, c).into()),
+                    Err(c) => cause = Some(c),
                 }
             }
+            eas[i] = ea;
+            if cause.is_none() {
+                cause = match map::route(ea, self.cfg.dram_size) {
+                    map::Region::Dram => self.mem.read(ea, 4).err(),
+                    map::Region::Scratch => self.scratch.read(ea, 4).err(),
+                    _ => Some(MemFault::Unmapped(ea)),
+                }
+                .map(TrapCause::Mem);
+            }
+            if let Some(c) = cause {
+                faults.push(LaneFault { lane: i as u32, cause: c });
+            }
+        }
+        if let Some(t) = Trap::from_lane_faults(w, sel.pc, faults) {
+            return Err(t.into());
+        }
+
+        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
+        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
+        let mut results = [0u64; MAX_LANES];
+        // Commit phase. Lanes perform their RMW in lane order, which defines
+        // the intra-warp atomicity order.
+        for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
+            let ea = eas[i];
             let req = LaneRequest { addr: ea, bytes: 4 };
             let region = map::route(ea, self.cfg.dram_size);
             let res: Result<(), MemFault> = (|| {
@@ -226,7 +271,7 @@ impl Sm {
                 Ok(())
             })();
             if let Err(f) = res {
-                return Err(self.trap(w, sel, i as u32, TrapCause::Mem(f)).into());
+                unreachable!("memory fault escaped the check phase: {f}");
             }
         }
         // An atomic is a read + write transaction per block.

@@ -10,7 +10,7 @@
 use crate::config::{CheriOpts, SmConfig};
 use crate::counters::KernelStats;
 use crate::pipeline::StepOutcome;
-use crate::trap::RunError;
+use crate::trap::{RunError, Trap};
 use crate::warp::Warp;
 use cheri_cap::{CapMem, CapPipe, Perms};
 use simt_isa::Instr;
@@ -64,6 +64,9 @@ pub struct Sm {
     /// `scalarised_issues` counter and every other statistic are identical
     /// either way (the differential test pins this).
     pub(crate) scalarise: bool,
+    /// Traps suppressed under `TrapPolicy::MaskLanes` this launch, in
+    /// delivery order (empty under `Abort`).
+    pub(crate) suppressed: Vec<Trap>,
 }
 
 impl Sm {
@@ -116,6 +119,7 @@ impl Sm {
             hart_base: 0,
             device_threads: cfg.threads(),
             scalarise: true,
+            suppressed: Vec::new(),
             cfg,
         }
     }
@@ -284,6 +288,7 @@ impl Sm {
         self.samples = 0;
         self.sum_data_resident = 0;
         self.sum_meta_resident = 0;
+        self.suppressed.clear();
         // The sink deliberately survives the reset: each launch contributes
         // a delimited segment to one continuous stream.
         if let Some(sink) = self.sink.as_deref_mut() {
@@ -340,5 +345,11 @@ impl Sm {
     /// Read back the statistics of the last completed run.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// Traps suppressed under `TrapPolicy::MaskLanes` during the current
+    /// launch, in delivery order. Always empty under `TrapPolicy::Abort`.
+    pub fn suppressed_traps(&self) -> &[Trap] {
+        &self.suppressed
     }
 }

@@ -21,6 +21,34 @@ pub enum TrapCause {
     RegionBound(u32),
 }
 
+impl TrapCause {
+    /// A stable machine-readable name for trace events and coverage tables
+    /// (e.g. `cheri:tag`, `mem:unmapped`, `fetch_oob`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrapCause::Cheri(e) => match e {
+                CapException::TagViolation => "cheri:tag",
+                CapException::SealViolation => "cheri:seal",
+                CapException::BoundsViolation => "cheri:bounds",
+                CapException::PermitLoadViolation => "cheri:permit_load",
+                CapException::PermitStoreViolation => "cheri:permit_store",
+                CapException::PermitExecuteViolation => "cheri:permit_execute",
+                CapException::PermitLoadCapViolation => "cheri:permit_load_cap",
+                CapException::PermitStoreCapViolation => "cheri:permit_store_cap",
+                CapException::AlignmentViolation => "cheri:alignment",
+                CapException::InexactBounds => "cheri:inexact_bounds",
+            },
+            TrapCause::Mem(MemFault::Unmapped(_)) => "mem:unmapped",
+            TrapCause::Mem(MemFault::Misaligned(_)) => "mem:misaligned",
+            TrapCause::Mem(MemFault::BadWidth(_)) => "mem:bad_width",
+            TrapCause::IllegalInstr(_) => "illegal_instr",
+            TrapCause::Environment => "environment",
+            TrapCause::FetchOutOfRange(_) => "fetch_oob",
+            TrapCause::RegionBound(_) => "region_bound",
+        }
+    }
+}
+
 impl fmt::Display for TrapCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -34,17 +62,86 @@ impl fmt::Display for TrapCause {
     }
 }
 
-/// A trap, attributed to the first faulting thread.
+/// One lane's fault within a warp-precise trap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneFault {
+    /// Lane index within the warp.
+    pub lane: u32,
+    /// Why this lane faulted.
+    pub cause: TrapCause,
+}
+
+/// A warp-precise trap.
+///
+/// The memory stage checks *every* active lane before committing any of
+/// them, so a trap carries the full set of faulting lanes: `lane_mask` is
+/// the bitmask of faulting lanes and `lane_causes` their individual causes.
+/// `lane`/`cause` summarise the leader (lowest-numbered) faulting lane for
+/// display and for call sites that only care about the first fault.
+/// Warp-wide causes (fetch, illegal instruction, environment call) attribute
+/// the whole active mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trap {
     /// Faulting warp.
     pub warp: u32,
-    /// Faulting lane within the warp.
+    /// Leader (lowest-numbered) faulting lane within the warp.
     pub lane: u32,
     /// Program counter of the faulting instruction.
     pub pc: u32,
-    /// Cause.
+    /// Cause of the leader lane's fault.
     pub cause: TrapCause,
+    /// Bitmask of all faulting lanes.
+    pub lane_mask: u64,
+    /// Per-lane causes, ordered by ascending lane index.
+    pub lane_causes: Vec<LaneFault>,
+}
+
+impl Trap {
+    /// A trap with a single faulting lane (the common case outside the
+    /// memory stage).
+    pub fn single(warp: u32, lane: u32, pc: u32, cause: TrapCause) -> Self {
+        Trap {
+            warp,
+            lane,
+            pc,
+            cause,
+            lane_mask: 1u64 << lane,
+            lane_causes: vec![LaneFault { lane, cause }],
+        }
+    }
+
+    /// A warp-wide trap: every lane in `mask` faulted for the same reason
+    /// (fetch/decode-stage causes that precede per-lane execution).
+    pub fn warp_wide(warp: u32, mask: u64, pc: u32, cause: TrapCause) -> Self {
+        let lane = mask.trailing_zeros().min(63);
+        Trap {
+            warp,
+            lane,
+            pc,
+            cause,
+            lane_mask: mask,
+            lane_causes: (0..64)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| LaneFault { lane: i, cause })
+                .collect(),
+        }
+    }
+
+    /// Build a trap from the per-lane faults collected by a check phase.
+    /// Returns `None` if no lane faulted. Faults must be in ascending lane
+    /// order (the natural order of a lane loop).
+    pub fn from_lane_faults(warp: u32, pc: u32, faults: Vec<LaneFault>) -> Option<Self> {
+        let first = *faults.first()?;
+        let mask = faults.iter().fold(0u64, |m, f| m | 1u64 << f.lane);
+        Some(Trap {
+            warp,
+            lane: first.lane,
+            pc,
+            cause: first.cause,
+            lane_mask: mask,
+            lane_causes: faults,
+        })
+    }
 }
 
 impl fmt::Display for Trap {
@@ -53,14 +150,23 @@ impl fmt::Display for Trap {
             f,
             "trap in warp {} lane {} at pc {:#010x}: {}",
             self.warp, self.lane, self.pc, self.cause
-        )
+        )?;
+        if self.lane_causes.len() > 1 {
+            write!(
+                f,
+                " (+{} more faulting lane(s), mask {:#x})",
+                self.lane_causes.len() - 1,
+                self.lane_mask
+            )?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for Trap {}
 
 /// Failure modes of a kernel run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// A thread trapped.
     Trap(Trap),

@@ -16,6 +16,11 @@ pub enum ThreadStatus {
     AtBarrier,
     /// Finished the kernel.
     Terminated,
+    /// Permanently disabled after a suppressed fault
+    /// (`TrapPolicy::MaskLanes`). Like `Terminated`, the thread never
+    /// issues again, but the distinct status keeps the suppression visible
+    /// in warp state.
+    Faulted,
 }
 
 /// State of one warp.
@@ -55,9 +60,10 @@ impl Warp {
         }
     }
 
-    /// Is every thread terminated?
+    /// Is every thread finished (terminated, or faulted under
+    /// `TrapPolicy::MaskLanes`)?
     pub fn done(&self) -> bool {
-        self.status.iter().all(|&s| s == ThreadStatus::Terminated)
+        self.status.iter().all(|&s| matches!(s, ThreadStatus::Terminated | ThreadStatus::Faulted))
     }
 
     /// Is the warp blocked on a barrier (no runnable thread, at least one
@@ -91,33 +97,32 @@ impl Warp {
     /// skipped under the static-PC-metadata restriction, letting the
     /// hardware drop `lanes × 33` comparators).
     pub fn select(&self) -> Option<Selection> {
-        let mut min_pc = u32::MAX;
+        // The leader is the lowest-numbered runnable thread at the minimum
+        // PC; finding the lane (not just the PC) in the first pass makes
+        // "nonempty selection ⇒ leader metadata" hold by construction.
+        let mut leader: Option<(usize, u32)> = None;
         for (i, &s) in self.status.iter().enumerate() {
-            if s == ThreadStatus::Active && self.pc[i] < min_pc {
-                min_pc = self.pc[i];
+            if s == ThreadStatus::Active {
+                match leader {
+                    Some((_, pc)) if pc <= self.pc[i] => {}
+                    _ => leader = Some((i, self.pc[i])),
+                }
             }
         }
-        if min_pc == u32::MAX {
-            return None;
-        }
+        let (leader_lane, min_pc) = leader?;
+        let leader_meta = self.pcc_meta_of(leader_lane);
         let static_pcc = self.pcc_meta.len() == 1;
-        let mut leader_meta = None;
         let mut mask = 0u64;
         for i in 0..self.pc.len() {
-            if self.status[i] != ThreadStatus::Active || self.pc[i] != min_pc {
-                continue;
+            if self.status[i] == ThreadStatus::Active
+                && self.pc[i] == min_pc
+                && (static_pcc || self.pcc_meta_of(i) == leader_meta)
+            {
+                mask |= 1 << i;
             }
-            let meta = self.pcc_meta_of(i);
-            match leader_meta {
-                None => {
-                    leader_meta = Some(meta);
-                    mask |= 1 << i;
-                }
-                Some(m) if static_pcc || m == meta => mask |= 1 << i,
-                Some(_) => {} // differing PCC metadata: defer to a later issue
-            }
+            // Min-PC threads with differing PCC metadata defer to a later issue.
         }
-        Some(Selection { mask, pc: min_pc, pcc_meta: leader_meta.unwrap() })
+        Some(Selection { mask, pc: min_pc, pcc_meta: leader_meta })
     }
 }
 
@@ -170,5 +175,25 @@ mod tests {
         assert!(w.select().is_none());
         w.status[0] = ThreadStatus::Terminated;
         assert!(w.done());
+    }
+
+    #[test]
+    fn select_handles_empty_and_finished_warps() {
+        // All-terminated warp: select() must return None, not panic.
+        let mut w = Warp::new(4, 0x100, 0, false);
+        for s in &mut w.status {
+            *s = ThreadStatus::Terminated;
+        }
+        assert!(w.select().is_none());
+        assert!(w.done());
+        // Mixed faulted/terminated: also finished, also None.
+        w.status[1] = ThreadStatus::Faulted;
+        assert!(w.select().is_none());
+        assert!(w.done());
+        assert!(!w.blocked_at_barrier());
+        // Faulted lanes never appear in a selection mask.
+        w.status[3] = ThreadStatus::Active;
+        let s = w.select().unwrap();
+        assert_eq!(s.mask, 0b1000);
     }
 }

@@ -153,27 +153,43 @@ fn csetaddr_out_of_representable_range_detags() {
 }
 
 #[test]
-fn csetbounds_exact_detags_on_imprecise_request() {
-    // Base misaligned for a large object: the exact variant must detag.
+fn csetbounds_exact_traps_on_imprecise_request() {
+    // Base misaligned for a large object: the exact variant must trap with
+    // InexactBounds (CHERI-RISC-V semantics; earlier revisions detagged).
     let mut a = Assembler::new();
     a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::GLOBAL });
     a.li(Reg::A1, map::DRAM_BASE + 0x1001); // odd base
     a.push(Instr::CSetAddr { cd: Reg::A0, cs1: Reg::A0, rs2: Reg::A1 });
     a.li(Reg::A2, 1 << 20); // 1 MiB: needs coarse alignment
     a.push(Instr::CSetBoundsExact { cd: Reg::A3, cs1: Reg::A0, rs2: Reg::A2 });
-    a.push(Instr::CapUnary { op: UnaryCapOp::GetTag, rd: Reg::A4, cs1: Reg::A3 });
-    store_out(&mut a, Reg::A4, 0);
-    // The non-exact variant keeps the tag but rounds.
+    a.terminate();
+    match run_with(a.assemble(), arg_cap(), CheriOpts::optimised()) {
+        Err(RunError::Trap(t)) => {
+            assert_eq!(t.cause, TrapCause::Cheri(cheri_cap::CapException::InexactBounds));
+            assert!(t.lane_mask != 0, "trap names the faulting lanes");
+        }
+        other => panic!("expected an InexactBounds trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn csetbounds_inexact_rounds_and_keeps_the_tag() {
+    // The non-exact variant keeps the tag but rounds the base down to the
+    // representable granule.
+    let mut a = Assembler::new();
+    a.push(Instr::CSpecialRw { cd: Reg::A0, cs1: Reg::ZERO, scr: scr::GLOBAL });
+    a.li(Reg::A1, map::DRAM_BASE + 0x1001); // odd base
+    a.push(Instr::CSetAddr { cd: Reg::A0, cs1: Reg::A0, rs2: Reg::A1 });
+    a.li(Reg::A2, 1 << 20); // 1 MiB: needs coarse alignment
     a.push(Instr::CSetBounds { cd: Reg::A3, cs1: Reg::A0, rs2: Reg::A2 });
     a.push(Instr::CapUnary { op: UnaryCapOp::GetTag, rd: Reg::A4, cs1: Reg::A3 });
-    store_out(&mut a, Reg::A4, 1);
+    store_out(&mut a, Reg::A4, 0);
     a.push(Instr::CapUnary { op: UnaryCapOp::GetBase, rd: Reg::A4, cs1: Reg::A3 });
-    store_out(&mut a, Reg::A4, 2);
+    store_out(&mut a, Reg::A4, 1);
     a.terminate();
     let sm = run_with(a.assemble(), arg_cap(), CheriOpts::optimised()).unwrap();
-    assert_eq!(sm.memory().read(OUT, 4).unwrap(), 0, "CSetBoundsExact detags");
-    assert_eq!(sm.memory().read(OUT + 4, 4).unwrap(), 1, "CSetBounds keeps the tag");
-    let base = sm.memory().read(OUT + 8, 4).unwrap();
+    assert_eq!(sm.memory().read(OUT, 4).unwrap(), 1, "CSetBounds keeps the tag");
+    let base = sm.memory().read(OUT + 4, 4).unwrap();
     assert!(base <= map::DRAM_BASE + 0x1001, "base rounded down");
     assert_eq!(
         base & !bounds::representable_alignment_mask(1 << 20),

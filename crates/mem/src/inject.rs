@@ -1,0 +1,307 @@
+//! Deterministic, seed-driven fault injection for the tagged memory
+//! subsystem.
+//!
+//! A [`FaultInjector`] mutates the *functional* state of a [`MainMemory`]
+//! between kernel launches so that every [`cheri_cap::CapException`] and
+//! [`crate::MemFault`] variant is reachable on demand: it can clear or
+//! forge capability tags, corrupt capability words while preserving their
+//! tags (the model of a physical upset that the tag bit does not protect
+//! against), and depopulate address windows. The tag cache
+//! ([`crate::TagController`]) is a timing model over this functional state,
+//! so a flipped tag here is exactly what a flipped line in the tag cache's
+//! backing store looks like to the pipeline.
+//!
+//! All randomness comes from a [`sim_prng::Prng`] seeded explicitly, so an
+//! injection campaign is exactly reproducible from its seed — the property
+//! the `repro faults` coverage matrix relies on.
+
+use crate::MainMemory;
+use cheri_cap::{CapException, CapMem, CapPipe, Perms};
+use sim_prng::Prng;
+
+/// The injection schemes of a randomised campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionKind {
+    /// Clear the tags of resident capabilities: the next dereference
+    /// raises `CapException::TagViolation`.
+    ClearTag,
+    /// Set the tag bits of random data words, forging "capabilities"
+    /// whose metadata is whatever data happened to be there.
+    ForgeTag,
+    /// XOR random bits into the metadata word of resident capabilities
+    /// while *preserving* their tags — corrupted perms/bounds surface as
+    /// assorted CHERI faults on the next dereference.
+    CorruptMeta,
+    /// Install an unmapped address window: device accesses into it raise
+    /// `MemFault::Unmapped`.
+    UnmapWindow,
+}
+
+impl InjectionKind {
+    /// Every scheme, in declaration order.
+    pub const ALL: [InjectionKind; 4] = [
+        InjectionKind::ClearTag,
+        InjectionKind::ForgeTag,
+        InjectionKind::CorruptMeta,
+        InjectionKind::UnmapWindow,
+    ];
+
+    /// Stable machine-readable name (coverage tables, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionKind::ClearTag => "tag-clear",
+            InjectionKind::ForgeTag => "tag-forge",
+            InjectionKind::CorruptMeta => "meta-corrupt",
+            InjectionKind::UnmapWindow => "unmap-window",
+        }
+    }
+}
+
+impl std::str::FromStr for InjectionKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        InjectionKind::ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            format!("unknown injection scheme {s} (tag-clear|tag-forge|meta-corrupt|unmap-window)")
+        })
+    }
+}
+
+/// What one injection pass actually did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// The scheme applied.
+    pub kind: InjectionKind,
+    /// Affected capability/word addresses, or `[base]` for a window.
+    pub addrs: Vec<u32>,
+}
+
+/// Seed-driven fault injector. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    prng: Prng,
+}
+
+impl FaultInjector {
+    /// An injector whose whole campaign is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { prng: Prng::seed_from_u64(seed) }
+    }
+
+    /// Apply one randomised pass of `kind` to `mem`. `intensity` bounds how
+    /// many capabilities/words are affected (windows always install one
+    /// window of `64 * intensity` bytes). Returns what was done; the
+    /// `addrs` list is empty when no candidate existed (e.g. tag schemes
+    /// on a memory holding no valid capabilities).
+    pub fn apply(
+        &mut self,
+        mem: &mut MainMemory,
+        kind: InjectionKind,
+        intensity: usize,
+    ) -> Injection {
+        let n = intensity.max(1);
+        let addrs = match kind {
+            InjectionKind::ClearTag => {
+                let victims = self.pick_caps(mem, n);
+                for &a in &victims {
+                    mem.inject_set_tag(a, false);
+                }
+                victims
+            }
+            InjectionKind::ForgeTag => {
+                let mut forged = Vec::new();
+                for _ in 0..n {
+                    let a = self.pick_word(mem);
+                    mem.inject_set_tag(a, true);
+                    mem.inject_set_tag(a + 4, true);
+                    forged.push(a);
+                }
+                forged
+            }
+            InjectionKind::CorruptMeta => {
+                let victims = self.pick_caps(mem, n);
+                for &a in &victims {
+                    // Metadata is the high word of the 64-bit format; keep
+                    // the XOR nonzero so every pass changes something.
+                    let xor = self.prng.next_u32() | 1;
+                    mem.inject_corrupt_word(a + 4, xor);
+                }
+                victims
+            }
+            InjectionKind::UnmapWindow => {
+                let len = 64 * n as u32;
+                let span = mem.size().saturating_sub(len).max(64);
+                let base = mem.base() + (self.prng.range_u32(0, span) & !63);
+                mem.inject_unmap_window(base, len);
+                vec![base]
+            }
+        };
+        Injection { kind, addrs }
+    }
+
+    /// Up to `n` distinct resident-capability addresses, in randomised
+    /// order (empty if the memory holds no valid capabilities).
+    fn pick_caps(&mut self, mem: &MainMemory, n: usize) -> Vec<u32> {
+        let mut candidates = mem.tagged_cap_addrs();
+        self.prng.shuffle(&mut candidates);
+        candidates.truncate(n);
+        candidates
+    }
+
+    /// A random 8-aligned in-range word-pair address.
+    fn pick_word(&mut self, mem: &MainMemory) -> u32 {
+        mem.base() + (self.prng.range_u32(0, mem.size() - 8) & !7)
+    }
+
+    /// Directed sabotage: mutate the capability stored at `addr` (which
+    /// must hold a validly-tagged capability) so that the *matching* use of
+    /// it — a load, a store, a capability-wide access, a `CJALR`, a
+    /// `CSetBoundsExact` — faults with exactly `target`. Used by the
+    /// per-variant coverage probes; the randomised schemes above are for
+    /// campaign-style injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not hold a validly-tagged capability.
+    pub fn sabotage(&mut self, mem: &mut MainMemory, addr: u32, target: CapException) {
+        let victim = mem.read_cap(addr).expect("sabotage target must be mapped and 8-aligned");
+        assert!(victim.tag(), "sabotage target must hold a valid capability");
+        let cap = CapPipe::from_mem(victim);
+        match target {
+            CapException::TagViolation => {
+                mem.inject_set_tag(addr, false);
+            }
+            CapException::SealViolation => {
+                Self::rewrite(mem, addr, cap.seal_entry().to_mem());
+            }
+            CapException::BoundsViolation => {
+                // Zero-length bounds at the current address: every access
+                // through the capability is out of bounds, but the tag
+                // survives (monotone shrink).
+                Self::rewrite(mem, addr, cap.set_bounds(0).0.to_mem());
+            }
+            CapException::PermitLoadViolation => {
+                Self::rewrite(mem, addr, cap.and_perm(!Perms::LOAD).to_mem());
+            }
+            CapException::PermitStoreViolation => {
+                Self::rewrite(mem, addr, cap.and_perm(!Perms::STORE).to_mem());
+            }
+            CapException::PermitExecuteViolation => {
+                Self::rewrite(mem, addr, cap.and_perm(!Perms::EXECUTE).to_mem());
+            }
+            CapException::PermitLoadCapViolation => {
+                Self::rewrite(mem, addr, cap.and_perm(!Perms::LOAD_CAP).to_mem());
+            }
+            CapException::PermitStoreCapViolation => {
+                Self::rewrite(mem, addr, cap.and_perm(!Perms::STORE_CAP).to_mem());
+            }
+            CapException::AlignmentViolation => {
+                // 4-aligned but not 8-aligned: data accesses still work,
+                // capability-wide ones fault. Raw rewrite sidesteps the
+                // representability check — a ±4 nudge is a physical upset,
+                // not a CSetAddr.
+                let odd = (victim.addr() & !7) | 4;
+                Self::rewrite(mem, addr, CapMem::from_parts(victim.meta(), odd, true));
+            }
+            CapException::InexactBounds => {
+                // An odd base address: a later `CSetBoundsExact` with a
+                // large length cannot represent it and traps.
+                Self::rewrite(
+                    mem,
+                    addr,
+                    CapMem::from_parts(victim.meta(), victim.addr() | 1, true),
+                );
+            }
+        }
+    }
+
+    /// Replace the capability at `addr` with `new`, forcing the tag on —
+    /// the injection paths bypass the architectural store (which would
+    /// clear it).
+    fn rewrite(mem: &mut MainMemory, addr: u32, new: CapMem) {
+        let old = mem.read_cap(addr).expect("rewrite target must be mapped").bits();
+        mem.inject_corrupt_word(addr, old as u32 ^ new.bits() as u32);
+        mem.inject_corrupt_word(addr + 4, (old >> 32) as u32 ^ (new.bits() >> 32) as u32);
+        mem.inject_set_tag(addr, new.tag());
+        mem.inject_set_tag(addr + 4, new.tag());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::AccessWidth;
+
+    const BASE: u32 = 0x8000_0000;
+
+    fn mem_with_cap(addr: u32) -> MainMemory {
+        let mut m = MainMemory::new(BASE, 4096);
+        let cap = CapPipe::almighty().set_addr(addr).set_bounds(256).0;
+        m.write_cap(addr, cap.to_mem()).unwrap();
+        m
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let run = || {
+            let mut m = mem_with_cap(BASE + 64);
+            let mut inj = FaultInjector::new(42);
+            InjectionKind::ALL.map(|k| inj.apply(&mut m, k, 2))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clear_tag_detags_and_unmap_faults() {
+        let mut m = mem_with_cap(BASE + 64);
+        let mut inj = FaultInjector::new(7);
+        let done = inj.apply(&mut m, InjectionKind::ClearTag, 1);
+        assert_eq!(done.addrs, vec![BASE + 64]);
+        assert!(!m.read_cap(BASE + 64).unwrap().tag());
+
+        let done = inj.apply(&mut m, InjectionKind::UnmapWindow, 1);
+        let w = done.addrs[0];
+        assert_eq!(m.read(w, 4), Err(crate::MemFault::Unmapped(w)));
+        // Host bulk I/O ignores the window.
+        assert_eq!(m.read_bytes(w, 4).len(), 4);
+        m.clear_unmapped_windows();
+        assert!(m.read(w, 4).is_ok());
+    }
+
+    #[test]
+    fn corrupt_meta_keeps_the_tag_but_changes_bits() {
+        let mut m = mem_with_cap(BASE + 64);
+        let before = m.read_cap(BASE + 64).unwrap();
+        let mut inj = FaultInjector::new(3);
+        let done = inj.apply(&mut m, InjectionKind::CorruptMeta, 1);
+        assert_eq!(done.addrs, vec![BASE + 64]);
+        let after = m.read_cap(BASE + 64).unwrap();
+        assert!(after.tag(), "corruption preserves the tag");
+        assert_ne!(before.meta(), after.meta(), "metadata changed");
+    }
+
+    #[test]
+    fn sabotage_reaches_every_checkable_cause() {
+        // Every variant whose check is a pure function of the stored
+        // capability and an access: sabotage then re-check.
+        let a = BASE + 64;
+        for target in CapException::ALL {
+            let mut m = mem_with_cap(a);
+            let mut inj = FaultInjector::new(1);
+            inj.sabotage(&mut m, a, target);
+            let cap = CapPipe::from_mem(m.read_cap(a).unwrap());
+            let got = match target {
+                CapException::PermitExecuteViolation => cap.check_fetch(a).err(),
+                CapException::PermitStoreViolation | CapException::PermitStoreCapViolation => {
+                    cap.check_access(cap.addr(), AccessWidth::Cap, true, true).err()
+                }
+                CapException::InexactBounds => {
+                    let (_, exact) = cap.set_bounds(1 << 20);
+                    (!exact).then_some(CapException::InexactBounds)
+                }
+                _ => cap.check_access(cap.addr(), AccessWidth::Cap, false, true).err(),
+            };
+            assert_eq!(got, Some(target), "sabotage({target:?}) must reproduce it");
+        }
+    }
+}

@@ -26,12 +26,14 @@
 
 mod coalesce;
 mod dram;
+pub mod inject;
 pub mod map;
 mod scratch;
 mod tagcache;
 
 pub use coalesce::{Coalesced, CoalescingUnit, LaneRequest, TRANSACTION_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use inject::{FaultInjector, Injection, InjectionKind};
 pub use scratch::{ScratchStats, Scratchpad};
 pub use tagcache::{TagCache, TagCacheConfig, TagCacheStats, TagController};
 
@@ -71,6 +73,12 @@ pub struct MainMemory {
     /// One tag bit per naturally-aligned 32-bit word.
     tags: Vec<u64>,
     base: u32,
+    /// Fault-injected unmapped windows `(base, len)`. Consulted only by the
+    /// device-visible access paths ([`Self::read`], [`Self::write`] and,
+    /// through them, [`Self::read_cap`]/[`Self::write_cap`]) — never by the
+    /// host bulk-I/O helpers, so host readback of a trapped buffer keeps
+    /// working while the window is installed.
+    holes: Vec<(u32, u32)>,
 }
 
 impl MainMemory {
@@ -85,7 +93,15 @@ impl MainMemory {
             data: vec![0; size as usize],
             tags: vec![0; (size as usize / 4).div_ceil(64)],
             base,
+            holes: Vec::new(),
         }
+    }
+
+    /// Does `[addr, addr+len)` overlap a fault-injected unmapped window?
+    #[inline]
+    fn holed(&self, addr: u32, len: u32) -> bool {
+        let (a, l) = (addr as u64, len as u64);
+        self.holes.iter().any(|&(b, n)| a < b as u64 + n as u64 && a + l > b as u64)
     }
 
     /// Base physical address.
@@ -118,7 +134,7 @@ impl MainMemory {
         if !matches!(width, 1 | 2 | 4) {
             return Err(MemFault::BadWidth(width));
         }
-        if !self.contains(addr, width) {
+        if !self.contains(addr, width) || self.holed(addr, width) {
             return Err(MemFault::Unmapped(addr));
         }
         if !addr.is_multiple_of(width) {
@@ -141,7 +157,7 @@ impl MainMemory {
         if !matches!(width, 1 | 2 | 4) {
             return Err(MemFault::BadWidth(width));
         }
-        if !self.contains(addr, width) {
+        if !self.contains(addr, width) || self.holed(addr, width) {
             return Err(MemFault::Unmapped(addr));
         }
         if !addr.is_multiple_of(width) {
@@ -257,6 +273,68 @@ impl MainMemory {
         assert!(self.contains(addr, len), "read_bytes out of range");
         let o = self.off(addr);
         &self.data[o..o + len as usize]
+    }
+
+    // --- Fault injection (see [`inject::FaultInjector`]) ----------------
+    //
+    // These bypass the architectural write paths on purpose: they model
+    // physical upsets (a flipped tag bit, a corrupted DRAM word, a
+    // depopulated address window), not software stores. The tag cache is a
+    // timing model over this functional state, so flipping a tag here is
+    // exactly what a flipped line in the tag cache's backing store looks
+    // like to the pipeline.
+
+    /// Force the tag bit of the 32-bit word containing `addr`, without
+    /// touching the data (a software store would clear it instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside this memory.
+    pub fn inject_set_tag(&mut self, addr: u32, tag: bool) {
+        assert!(self.contains(addr & !3, 4), "inject_set_tag out of range");
+        self.set_tag(addr, tag);
+    }
+
+    /// XOR `xor` into the 32-bit word containing `addr` while *preserving*
+    /// the covering tag bit — a tagged capability keeps its tag but now
+    /// decodes to corrupted metadata/address bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside this memory.
+    pub fn inject_corrupt_word(&mut self, addr: u32, xor: u32) {
+        let a = addr & !3;
+        assert!(self.contains(a, 4), "inject_corrupt_word out of range");
+        let o = self.off(a);
+        let word = u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap()) ^ xor;
+        self.data[o..o + 4].copy_from_slice(&word.to_le_bytes());
+    }
+
+    /// Install an unmapped window: device accesses overlapping
+    /// `[base, base+len)` fault with [`MemFault::Unmapped`] until
+    /// [`Self::clear_unmapped_windows`] removes it. Host bulk I/O is not
+    /// affected.
+    pub fn inject_unmap_window(&mut self, base: u32, len: u32) {
+        self.holes.push((base, len));
+    }
+
+    /// Remove every injected unmapped window.
+    pub fn clear_unmapped_windows(&mut self) {
+        self.holes.clear();
+    }
+
+    /// Addresses (8-aligned) of every validly-tagged capability currently
+    /// in memory — the candidate set for tag/metadata injection.
+    pub fn tagged_cap_addrs(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut addr = self.base;
+        while addr + 8 <= self.base + self.size() {
+            if self.tag(addr) && self.tag(addr + 4) {
+                out.push(addr);
+            }
+            addr += 8;
+        }
+        out
     }
 }
 

@@ -48,11 +48,12 @@ pub use buffer::{Buffer, DeviceScalar};
 pub use error::LaunchError;
 
 use cheri_cap::{CapPipe, Perms};
-use cheri_simt::{Device, KernelStats, Sm, SmConfig};
+use cheri_simt::{Device, KernelStats, RunError, Sm, SmConfig, Trap};
 use nocl_kir::{compile_capped, ArgSlot, CompiledKernel, Kernel, MemPlan, Mode};
 use simt_isa::scr;
 use simt_mem::map;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Launch geometry: `<<<grid_dim, block_dim>>>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,9 +113,12 @@ impl<T: DeviceScalar> From<&Buffer<T>> for Arg {
     }
 }
 
+/// A hook invoked on the device immediately before each launch runs
+/// (after reset and argument marshalling) — the fault-injection point.
+pub type PreLaunchHook = Box<dyn FnMut(&mut Device) + Send>;
+
 /// The GPU: a [`Device`] of one or more SMs plus host-side memory
 /// management.
-#[derive(Debug)]
 pub struct Gpu {
     device: Device,
     mode: Mode,
@@ -123,6 +127,23 @@ pub struct Gpu {
     heap_end: u32,
     cache: HashMap<(String, Mode), CompiledKernel>,
     cap_reg_limit: Option<u32>,
+    pre_launch: Option<PreLaunchHook>,
+    fault_log: Vec<Trap>,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("device", &self.device)
+            .field("mode", &self.mode)
+            .field("plan", &self.plan)
+            .field("heap", &self.heap)
+            .field("heap_end", &self.heap_end)
+            .field("cap_reg_limit", &self.cap_reg_limit)
+            .field("pre_launch", &self.pre_launch.as_ref().map(|_| "<hook>"))
+            .field("fault_log", &self.fault_log)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Gpu {
@@ -172,7 +193,29 @@ impl Gpu {
             heap_end,
             cache: HashMap::new(),
             cap_reg_limit: None,
+            pre_launch: None,
+            fault_log: Vec::new(),
         }
+    }
+
+    /// Install a hook invoked on every launch after the device is reset
+    /// and the arguments are marshalled, immediately before the kernel
+    /// runs — so a fault injector sees exactly the memory image the kernel
+    /// will. Replaces any previous hook.
+    pub fn set_pre_launch_hook(&mut self, hook: PreLaunchHook) {
+        self.pre_launch = Some(hook);
+    }
+
+    /// Remove the pre-launch hook.
+    pub fn clear_pre_launch_hook(&mut self) {
+        self.pre_launch = None;
+    }
+
+    /// Drain the accumulated fault log: every trap suppressed by completed
+    /// launches (under [`cheri_simt::TrapPolicy::MaskLanes`]) plus the
+    /// aborting trap of each failed launch, in delivery order.
+    pub fn take_fault_log(&mut self) -> Vec<Trap> {
+        std::mem::take(&mut self.fault_log)
     }
 
     /// Enable the §4.3 capability-register limit: pure-capability kernels
@@ -380,7 +423,17 @@ impl Gpu {
         self.device.set_stack_region(self.plan.stack_top - stack_arena, stack_arena);
         self.device.set_block_warps((launch.block_dim / lanes).max(1));
         self.device.reset();
-        Ok(self.device.run(launch.max_cycles)?)
+        if let Some(hook) = self.pre_launch.as_mut() {
+            hook(&mut self.device);
+        }
+        let result = self.device.run(launch.max_cycles);
+        for k in 0..self.device.num_sms() as usize {
+            self.fault_log.extend_from_slice(self.device.sm(k).suppressed_traps());
+        }
+        if let Err(RunError::Trap(t)) = &result {
+            self.fault_log.push(t.clone());
+        }
+        Ok(result?)
     }
 
     fn write_args(

@@ -157,6 +157,14 @@ fn event_fields(ev: &TraceEvent, out: &mut String, first: &mut bool) {
             push_kv_num(out, "warp", warp as u64, first);
             push_kv_bool(out, "release", release, first);
         }
+        TraceEvent::Trap { cycle, warp, pc, mask, cause, suppressed } => {
+            push_kv_num(out, "cycle", cycle, first);
+            push_kv_num(out, "warp", warp as u64, first);
+            push_kv_hex(out, "pc", pc as u64, first);
+            push_kv_hex(out, "mask", mask, first);
+            push_kv_str(out, "cause", cause, first);
+            push_kv_bool(out, "suppressed", suppressed, first);
+        }
     }
 }
 
@@ -337,6 +345,9 @@ pub fn to_chrome(cells: &[TraceCell]) -> String {
                     TraceEvent::Barrier { cycle, warp, release } => {
                         let name = if release { "barrier release" } else { "barrier" };
                         chrome_event(&mut body, 'i', name, pid, warp, cycle, None, Some(ev));
+                    }
+                    TraceEvent::Trap { cycle, warp, cause, .. } => {
+                        chrome_event(&mut body, 'i', cause, pid, warp, cycle, None, Some(ev));
                     }
                 }
             }

@@ -271,6 +271,26 @@ pub enum TraceEvent {
         /// False on arrival, true on release.
         release: bool,
     },
+    /// A warp-precise trap was raised (mirrors `FaultStats::traps`). With
+    /// `suppressed == false` the run aborts immediately after this event;
+    /// with `suppressed == true` (`TrapPolicy::MaskLanes`) the faulting
+    /// lanes were disabled and the warp keeps running.
+    Trap {
+        /// Cycle the trap was raised on.
+        cycle: u64,
+        /// Faulting warp.
+        warp: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// Bitmask of all faulting lanes (its popcount sums to
+        /// `FaultStats::faulting_lanes`).
+        mask: u64,
+        /// Stable cause name of the leader lane (`TrapCause::name`, e.g.
+        /// `cheri:bounds`, `mem:unmapped`).
+        cause: &'static str,
+        /// True when the trap was absorbed by `TrapPolicy::MaskLanes`.
+        suppressed: bool,
+    },
 }
 
 impl TraceEvent {
@@ -286,6 +306,7 @@ impl TraceEvent {
             TraceEvent::Sfu { .. } => "sfu",
             TraceEvent::RfTransition { .. } => "rf_transition",
             TraceEvent::Barrier { .. } => "barrier",
+            TraceEvent::Trap { .. } => "trap",
         }
     }
 
@@ -300,7 +321,8 @@ impl TraceEvent {
             | TraceEvent::Dram { cycle, .. }
             | TraceEvent::Sfu { cycle, .. }
             | TraceEvent::RfTransition { cycle, .. }
-            | TraceEvent::Barrier { cycle, .. } => cycle,
+            | TraceEvent::Barrier { cycle, .. }
+            | TraceEvent::Trap { cycle, .. } => cycle,
         }
     }
 
@@ -316,7 +338,8 @@ impl TraceEvent {
             | TraceEvent::Dram { warp, .. }
             | TraceEvent::Sfu { warp, .. }
             | TraceEvent::RfTransition { warp, .. }
-            | TraceEvent::Barrier { warp, .. } => warp,
+            | TraceEvent::Barrier { warp, .. }
+            | TraceEvent::Trap { warp, .. } => warp,
         };
         if w == NO_WARP {
             None

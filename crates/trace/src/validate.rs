@@ -31,6 +31,7 @@ const JSONL_REQUIRED: &[(&str, &[&str])] = &[
     ("sfu", &["cycle", "warp", "lanes", "latency"]),
     ("rf_transition", &["cycle", "warp", "reg"]),
     ("barrier", &["cycle", "warp"]),
+    ("trap", &["cycle", "warp"]),
 ];
 
 fn check_num(obj: &Value, key: &str, ctx: &str) -> Result<(), String> {
