@@ -80,6 +80,10 @@ impl Device {
         for (k, sm) in cores.iter_mut().enumerate() {
             sm.set_hart_base(k as u32 * threads);
             sm.set_device_threads(sms * threads);
+            // Multi-SM arbitration interleaves SMs at instruction
+            // granularity, so an SM must never retire more than one issue
+            // per scheduler step: basic-block runs stay single-SM only.
+            sm.block_runs = sms == 1;
         }
         let shared = (sms > 1).then(|| {
             // Move SM 0's subsystem out as the shared one and park stubs in
@@ -169,6 +173,15 @@ impl Device {
     pub fn set_bounds_table(&mut self, table: Option<crate::shield::BoundsTable>) {
         for sm in &mut self.sms {
             sm.set_bounds_table(table.clone());
+        }
+    }
+
+    /// Enable or disable program pre-decoding on every SM (see
+    /// [`Sm::set_predecode`]). A host-model speed knob: results are
+    /// bit-identical either way.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        for sm in &mut self.sms {
+            sm.set_predecode(enabled);
         }
     }
 

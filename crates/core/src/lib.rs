@@ -53,6 +53,7 @@ mod counters;
 mod device;
 pub mod exec;
 mod pipeline;
+mod rom;
 pub mod shield;
 mod sm;
 mod trap;

@@ -15,7 +15,7 @@ use crate::exec;
 use crate::sm::Sm;
 use crate::warp::Selection;
 use simt_isa::{Instr, MulOp};
-use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
+use simt_regfile::OperandVec;
 
 impl Sm {
     /// Execute one ALU-class instruction (always writes `rd`, never traps,
@@ -33,17 +33,30 @@ impl Sm {
         } else {
             self.exec_alu_lanewise(w, sel, instr, costs);
         }
-        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        self.advance_uniform(w, sel, sel.pc.wrapping_add(4), None);
     }
 
-    /// The lane-wise reference path.
+    /// The lane-wise reference path. Scratch staleness audit: `a`/`b` are
+    /// fully overwritten by `read_data`; `r` is written per active lane (or
+    /// `[..lanes]`-filled) and committed under the mask; `rm` is read only
+    /// when `rd_is_cap`, which fills it.
     fn exec_alu_lanewise(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let mut bufs = self.take_bufs();
+        self.alu_lanewise_with(&mut bufs, w, sel, instr, costs);
+        self.put_bufs(bufs);
+    }
+
+    fn alu_lanewise_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
-        let mut a = [0u64; MAX_LANES];
-        let mut b = [0u64; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
-        let mut rm = [NULL_META; MAX_LANES];
+        let crate::sm::LaneBufs { a, b, r, rm, .. } = bufs;
         let mut rd_is_cap = false;
 
         macro_rules! active {
@@ -72,23 +85,23 @@ impl Sm {
                 rd
             }
             Instr::OpImm { op, rd, rs1, imm } => {
-                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs1, a, costs);
                 for i in active!() {
                     r[i] = exec::alu(op, a[i] as u32, imm as u32) as u64;
                 }
                 rd
             }
             Instr::Op { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_data(w, rs1, a, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     r[i] = exec::alu(op, a[i] as u32, b[i] as u32) as u64;
                 }
                 rd
             }
             Instr::MulDiv { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_data(w, rs1, a, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     r[i] = exec::muldiv(op, a[i] as u32, b[i] as u32) as u64;
                 }
@@ -103,7 +116,7 @@ impl Sm {
             }
             _ => unreachable!("not an ALU-class instruction"),
         };
-        self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+        self.writeback(w, rd, &r[..], rd_is_cap.then_some(&rm[..]), mask, costs);
     }
 
     /// The warp-wide fast path over compact operands. Only reached for

@@ -38,11 +38,14 @@ impl Sm {
         } else {
             self.exec_cap_lanewise(w, sel, instr, costs)?;
         }
-        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        self.advance_uniform(w, sel, sel.pc.wrapping_add(4), None);
         Ok(())
     }
 
-    /// The lane-wise reference path.
+    /// The lane-wise reference path. Scratch staleness audit: `a`/`am`/`b`
+    /// are fully overwritten by the operand reads; every arm writes
+    /// `r[i]`/`rm[i]` for each active lane (or `[..lanes]`-fills them) and
+    /// the commit is under the mask; `rm` is read only when `rd_is_cap`.
     fn exec_cap_lanewise(
         &mut self,
         w: u32,
@@ -50,13 +53,23 @@ impl Sm {
         instr: Instr,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
+        let mut bufs = self.take_bufs();
+        let res = self.cap_lanewise_with(&mut bufs, w, sel, instr, costs);
+        self.put_bufs(bufs);
+        res
+    }
+
+    fn cap_lanewise_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
-        let mut a = [0u64; MAX_LANES];
-        let mut b = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
-        let mut rm = [NULL_META; MAX_LANES];
+        let crate::sm::LaneBufs { a, b, am, r, rm, .. } = bufs;
         let mut rd_is_cap = false;
 
         macro_rules! active {
@@ -67,13 +80,13 @@ impl Sm {
 
         let rd = match instr {
             Instr::CapUnary { op, rd, cs1 } => {
-                self.exec_cap_unary(w, sel, op, rd, cs1, &mut r, &mut rm, &mut rd_is_cap, costs);
+                self.exec_cap_unary(w, sel, op, rd, cs1, r, rm, &mut rd_is_cap, costs);
                 rd
             }
             Instr::CAndPerm { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CAndPerm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).and_perm(Perms::from_bits(b[i] as u16));
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -83,8 +96,8 @@ impl Sm {
             }
             Instr::CSetFlags { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CSetFlags", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).set_flags(b[i] & 1 == 1);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -94,8 +107,8 @@ impl Sm {
             }
             Instr::CSetAddr { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CSetAddr", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).set_addr(b[i] as u32);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -105,8 +118,8 @@ impl Sm {
             }
             Instr::CIncOffset { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CIncOffset", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).inc_offset(b[i] as u32);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -116,7 +129,7 @@ impl Sm {
             }
             Instr::CIncOffsetImm { cd, cs1, imm } => {
                 self.stats.count_cheri("CIncOffsetImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
                 for i in active!() {
                     let cap = Self::cap_of(am[i], a[i]).inc_offset(imm as u32);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -126,8 +139,8 @@ impl Sm {
             }
             Instr::CSetBounds { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CSetBounds", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(b[i] as u32);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -138,8 +151,8 @@ impl Sm {
             }
             Instr::CSetBoundsExact { cd, cs1, rs2 } => {
                 self.stats.count_cheri("CSetBoundsExact", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
+                self.read_data(w, rs2, b, costs);
                 // Check phase: a tagged, unsealed source with an
                 // unrepresentable request raises InexactBounds; no lane
                 // commits if any lane faults.
@@ -167,7 +180,7 @@ impl Sm {
             }
             Instr::CSetBoundsImm { cd, cs1, imm } => {
                 self.stats.count_cheri("CSetBoundsImm", 1);
-                self.read_cap_operand(w, cs1, &mut a, &mut am, costs);
+                self.read_cap_operand(w, cs1, a, am, costs);
                 for i in active!() {
                     let (cap, _) = Self::cap_of(am[i], a[i]).set_bounds(imm);
                     (rm[i], r[i]) = Self::cap_parts(cap);
@@ -187,7 +200,7 @@ impl Sm {
             }
             _ => unreachable!("not a capability-class instruction"),
         };
-        self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+        self.writeback(w, rd, &r[..], rd_is_cap.then_some(&rm[..]), mask, costs);
         Ok(())
     }
 

@@ -30,6 +30,77 @@ use simt_isa::{AluOp, Instr, MulOp, Reg};
 use simt_regfile::OperandClass;
 use simt_trace::IssueClass;
 
+/// The static half of the scalarisation verdict: what can be decided from
+/// the instruction and the CHERI mode alone, cached per program-ROM slot
+/// at pre-decode time ([`crate::rom`]). `Dynamic` ops still need the
+/// per-issue register-class and mask checks of
+/// [`Sm::dynamic_issue_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StaticClass {
+    /// Scalarises under any mask and operand classes (warp-invariant
+    /// splats).
+    Always,
+    /// Never scalarises (the memory pipeline, traps, SIMT control, and
+    /// CHERI `JALR`).
+    Never,
+    /// Depends on the dynamic operand classes (and, for compute ops, a
+    /// full mask).
+    Dynamic,
+}
+
+/// Classify the static half of the scalarisation verdict (see
+/// [`StaticClass`]). [`Sm::issue_class`] dispatches through this same
+/// function, so the decode-at-issue path and the pre-decoded ROM agree by
+/// construction.
+pub(crate) fn static_issue_class(instr: Instr, cheri: bool) -> StaticClass {
+    match instr {
+        // Warp-invariant splats (CSRRS is uniform or hart-affine).
+        Instr::Lui { .. }
+        | Instr::Auipc { .. }
+        | Instr::Jal { .. }
+        | Instr::Csrrs { .. }
+        | Instr::CSpecialRw { .. } => StaticClass::Always,
+        // CHERI JALR stays per-lane: it unseals, checks and installs a
+        // per-lane PCC. Non-CHERI JALR scalarises on a uniform base.
+        Instr::Jalr { .. } => {
+            if cheri {
+                StaticClass::Never
+            } else {
+                StaticClass::Dynamic
+            }
+        }
+        Instr::Branch { .. }
+        | Instr::OpImm { .. }
+        | Instr::Op { .. }
+        | Instr::MulDiv { .. }
+        | Instr::FOp { .. }
+        | Instr::FSqrt { .. }
+        | Instr::FCmp { .. }
+        | Instr::FCvtWS { .. }
+        | Instr::FCvtSW { .. }
+        | Instr::CapUnary { .. }
+        | Instr::CAndPerm { .. }
+        | Instr::CSetFlags { .. }
+        | Instr::CSetAddr { .. }
+        | Instr::CIncOffset { .. }
+        | Instr::CIncOffsetImm { .. }
+        | Instr::CSetBounds { .. }
+        | Instr::CSetBoundsExact { .. }
+        | Instr::CSetBoundsImm { .. } => StaticClass::Dynamic,
+        // Inherently per-lane: the memory pipeline, traps and SIMT
+        // control.
+        Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Clc { .. }
+        | Instr::Csc { .. }
+        | Instr::Amo { .. }
+        | Instr::Fence
+        | Instr::Ecall
+        | Instr::Ebreak
+        | Instr::Simt { .. } => StaticClass::Never,
+    }
+}
+
 /// Does `op` over operand classes `a`/`b` have a warp-wide evaluation that
 /// is exactly congruent (mod 2³²) to the lane-wise one?
 ///
@@ -88,18 +159,41 @@ impl Sm {
 
     /// Classify an issue (see the module docs for the criteria). Pure: no
     /// register-file or statistics state changes between this peek and the
-    /// execution it governs.
+    /// execution it governs. Dispatches through [`static_issue_class`] —
+    /// the same split the pre-decoded ROM caches — so the two paths agree
+    /// by construction.
     pub(crate) fn issue_class(&self, w: u32, sel: &Selection, instr: Instr) -> IssueClass {
+        self.resolve_issue_class(w, sel, instr, static_issue_class(instr, self.cheri()))
+    }
+
+    /// Resolve an issue class from a pre-computed [`StaticClass`]: the
+    /// `Dynamic` case runs the per-issue register-class and mask checks.
+    pub(crate) fn resolve_issue_class(
+        &self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        sclass: StaticClass,
+    ) -> IssueClass {
+        let scalarised = match sclass {
+            StaticClass::Always => true,
+            StaticClass::Never => false,
+            StaticClass::Dynamic => self.dynamic_issue_class(w, sel, instr),
+        };
+        if scalarised {
+            IssueClass::Scalarised
+        } else {
+            IssueClass::PerLane
+        }
+    }
+
+    /// The dynamic half of the scalarisation verdict, for
+    /// [`StaticClass::Dynamic`] instructions only.
+    fn dynamic_issue_class(&self, w: u32, sel: &Selection, instr: Instr) -> bool {
         let full = sel.mask == u64::MAX >> (64 - self.cfg.lanes);
-        let scalarised = match instr {
-            // Warp-invariant splats (CSRRS is uniform or hart-affine).
-            Instr::Lui { .. }
-            | Instr::Auipc { .. }
-            | Instr::Jal { .. }
-            | Instr::Csrrs { .. }
-            | Instr::CSpecialRw { .. } => true,
-            // Uniform control flow. CHERI JALR stays per-lane: it unseals,
-            // checks and installs a per-lane PCC.
+        match instr {
+            // Uniform control flow (the CHERI JALR case is statically
+            // `Never` and cannot reach here).
             Instr::Jalr { rs1, .. } => !self.cheri() && self.data_uniform(w, rs1),
             Instr::Branch { rs1, rs2, .. } => {
                 self.data_uniform(w, rs1) && self.data_uniform(w, rs2)
@@ -135,22 +229,7 @@ impl Sm {
             Instr::CIncOffsetImm { cs1, .. } | Instr::CSetBoundsImm { cs1, .. } => {
                 full && self.cap_uniform(w, cs1)
             }
-            // Inherently per-lane: the memory pipeline, traps and SIMT
-            // control.
-            Instr::Load { .. }
-            | Instr::Store { .. }
-            | Instr::Clc { .. }
-            | Instr::Csc { .. }
-            | Instr::Amo { .. }
-            | Instr::Fence
-            | Instr::Ecall
-            | Instr::Ebreak
-            | Instr::Simt { .. } => false,
-        };
-        if scalarised {
-            IssueClass::Scalarised
-        } else {
-            IssueClass::PerLane
+            _ => unreachable!("statically classified instruction reached the dynamic check"),
         }
     }
 }

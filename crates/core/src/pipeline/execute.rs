@@ -17,22 +17,40 @@
 
 use super::Costs;
 use crate::config::TrapPolicy;
+use crate::rom::{pc_index, TrapPlan};
 use crate::sm::Sm;
 use crate::trap::{RunError, Trap, TrapCause};
 use crate::warp::{Selection, ThreadStatus};
 use simt_isa::{Instr, LoadWidth, Reg, SimtOp};
-use simt_mem::map;
 use simt_regfile::MAX_LANES;
 use simt_trace::{IssueClass, StallCause, TraceEvent};
 
 impl Sm {
-    /// Issue one instruction for warp `w`, applying the configured
-    /// [`TrapPolicy`] to any trap the pipeline raises: `Abort` delivers it
-    /// to the caller (ending the run), `MaskLanes` records it, disables the
-    /// faulting lanes and keeps the warp running. Either way the trap is
-    /// counted in [`crate::FaultStats`] and emitted as a `trap` trace event.
-    pub(crate) fn issue(&mut self, w: usize) -> Result<(), RunError> {
-        match self.issue_inner(w) {
+    /// Select and issue one instruction for warp `w`, returning the
+    /// selection that issued (the scheduler's block runner continues from
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::SchedulerInvariant`] — instead of aborting the
+    /// process — if `w` has no selectable thread, plus everything
+    /// [`Sm::issue_with`] can return.
+    pub(crate) fn issue(&mut self, w: usize) -> Result<Selection, RunError> {
+        let Some(sel) = self.warps[w].select() else {
+            return Err(RunError::SchedulerInvariant { warp: w as u32, cycles: self.cycle });
+        };
+        self.issue_with(w, sel)?;
+        Ok(sel)
+    }
+
+    /// Issue one instruction for warp `w` under the given selection,
+    /// applying the configured [`TrapPolicy`] to any trap the pipeline
+    /// raises: `Abort` delivers it to the caller (ending the run),
+    /// `MaskLanes` records it, disables the faulting lanes and keeps the
+    /// warp running. Either way the trap is counted in
+    /// [`crate::FaultStats`] and emitted as a `trap` trace event.
+    pub(crate) fn issue_with(&mut self, w: usize, sel: Selection) -> Result<(), RunError> {
+        match self.issue_inner(w, sel) {
             Err(RunError::Trap(t)) => self.deliver_trap(t),
             other => other,
         }
@@ -60,49 +78,80 @@ impl Sm {
         // one active lane, so the warp always makes progress).
         self.stats.faults.suppressed += 1;
         let warp = &mut self.warps[t.warp as usize];
-        for lane in 0..warp.status.len() {
+        for lane in 0..warp.lanes() as usize {
             if t.lane_mask >> lane & 1 == 1 {
-                warp.status[lane] = ThreadStatus::Faulted;
+                warp.set_status(lane, ThreadStatus::Faulted);
             }
         }
         self.suppressed.push(t);
         Ok(())
     }
 
-    fn issue_inner(&mut self, w: usize) -> Result<(), RunError> {
-        let sel = self.warps[w].select().expect("issue() requires a selectable warp");
-        let wid = w as u32;
+    fn issue_inner(&mut self, w: usize, sel: Selection) -> Result<(), RunError> {
+        let wid = u32::try_from(w).expect("warp index exceeds u32");
 
-        // Fetch: one PCC bounds check per warp (Section 3.3), so a fetch
-        // fault attributes the whole selected mask.
-        if self.cheri() {
+        // Fetch. The instruction-memory range check runs *first*, so a PC
+        // outside the program traps as `fetch_oob` under every protection
+        // scheme; the CHERI PCC check (one per warp, Section 3.3) then
+        // covers in-range PCs reached on a non-launch PCC. See DESIGN.md
+        // §3.3.4 for the ordering rationale.
+        let idx = match pc_index(sel.pc) {
+            Some(i) if i < self.imem.len() => i,
+            _ => {
+                return Err(Trap::warp_wide(
+                    wid,
+                    sel.mask,
+                    sel.pc,
+                    TrapCause::FetchOutOfRange(sel.pc),
+                )
+                .into())
+            }
+        };
+        if self.cheri()
+            && !(self.pcc_fetch_ok
+                && sel.pcc_meta == self.launch_pcc_meta
+                && sel.pc.is_multiple_of(4))
+        {
             let pcc = Self::cap_of(sel.pcc_meta, sel.pc as u64);
             if let Err(e) = pcc.check_fetch(sel.pc) {
                 return Err(Trap::warp_wide(wid, sel.mask, sel.pc, TrapCause::Cheri(e)).into());
             }
         }
-        if sel.pc < map::TCIM_BASE || ((sel.pc - map::TCIM_BASE) / 4) as usize >= self.imem.len() {
-            return Err(
-                Trap::warp_wide(wid, sel.mask, sel.pc, TrapCause::FetchOutOfRange(sel.pc)).into()
-            );
-        }
-        let idx = ((sel.pc - map::TCIM_BASE) / 4) as usize;
-        let instr = match self.imem[idx] {
-            Some(i) => i,
-            None => {
-                return Err(Trap::warp_wide(
-                    wid,
-                    sel.mask,
-                    sel.pc,
-                    TrapCause::IllegalInstr(self.imem_raw[idx]),
-                )
-                .into())
-            }
+        // Decode + classify: from the pre-decoded ROM when available (the
+        // cached static class resolves through the same dynamic check),
+        // from instruction memory otherwise. Classification precedes
+        // execution so the event, the counter and the executed path all
+        // report the same verdict.
+        let (instr, class, plan) = match &self.rom {
+            Some(rom) => match rom.ops[idx] {
+                Some(op) => {
+                    (op.instr, self.resolve_issue_class(wid, &sel, op.instr, op.sclass), op.plan)
+                }
+                None => {
+                    return Err(Trap::warp_wide(
+                        wid,
+                        sel.mask,
+                        sel.pc,
+                        TrapCause::IllegalInstr(self.imem_raw[idx]),
+                    )
+                    .into())
+                }
+            },
+            None => match self.imem[idx] {
+                Some(i) => {
+                    (i, self.issue_class(wid, &sel, i), TrapPlan::for_instr(i, self.cheri()))
+                }
+                None => {
+                    return Err(Trap::warp_wide(
+                        wid,
+                        sel.mask,
+                        sel.pc,
+                        TrapCause::IllegalInstr(self.imem_raw[idx]),
+                    )
+                    .into())
+                }
+            },
         };
-
-        // Classify before executing: the event, the counter and the
-        // executed path all report the same verdict.
-        let class = self.issue_class(wid, &sel, instr);
 
         // Issue accounting.
         self.cycle += 1;
@@ -128,7 +177,7 @@ impl Sm {
         }
 
         let mut costs = Costs::default();
-        let result = self.execute(wid, &sel, instr, class, &mut costs);
+        let result = self.execute(wid, &sel, instr, class, plan, &mut costs);
 
         // Apply accumulated costs.
         self.cycle += (costs.extra_cycles + costs.spill_cycles) as u64;
@@ -163,6 +212,7 @@ impl Sm {
         sel: &Selection,
         instr: Instr,
         class: IssueClass,
+        plan: TrapPlan,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
         let fast = self.scalarise && class == IssueClass::Scalarised;
@@ -201,7 +251,7 @@ impl Sm {
             | Instr::Store { .. }
             | Instr::Clc { .. }
             | Instr::Csc { .. }
-            | Instr::Amo { .. } => self.exec_mem_class(w, sel, instr, costs),
+            | Instr::Amo { .. } => self.exec_mem_class(w, sel, instr, plan, costs),
             Instr::Fence | Instr::Ecall | Instr::Ebreak | Instr::Simt { .. } => {
                 self.exec_sys_class(w, sel, instr)
             }
@@ -216,6 +266,7 @@ impl Sm {
         w: u32,
         sel: &Selection,
         instr: Instr,
+        plan: TrapPlan,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
         let cheri = self.cheri();
@@ -244,6 +295,7 @@ impl Sm {
                     false,
                     false,
                     lw,
+                    plan,
                     costs,
                 )?;
             }
@@ -269,6 +321,7 @@ impl Sm {
                     true,
                     false,
                     LoadWidth::W,
+                    plan,
                     costs,
                 )?;
             }
@@ -286,6 +339,7 @@ impl Sm {
                     false,
                     true,
                     LoadWidth::W,
+                    plan,
                     costs,
                 )?;
             }
@@ -313,6 +367,7 @@ impl Sm {
                     true,
                     true,
                     LoadWidth::W,
+                    plan,
                     costs,
                 )?;
             }
@@ -322,11 +377,11 @@ impl Sm {
                 }
                 let mut b = [0u64; MAX_LANES];
                 self.read_data(w, rs2, &mut b, costs);
-                self.do_amo(w, sel, rs1, rd, op, &b, costs)?;
+                self.do_amo(w, sel, rs1, rd, op, &b, plan, costs)?;
             }
             _ => unreachable!("not a memory-class instruction"),
         }
-        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        self.advance_uniform(w, sel, sel.pc.wrapping_add(4), None);
         Ok(())
     }
 
@@ -355,7 +410,7 @@ impl Sm {
             }
             _ => unreachable!("not a system-class instruction"),
         };
-        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], status_change);
+        self.advance_uniform(w, sel, sel.pc.wrapping_add(4), status_change);
         Ok(())
     }
 

@@ -14,7 +14,7 @@ use crate::sm::Sm;
 use crate::trap::{LaneFault, RunError, Trap, TrapCause};
 use crate::warp::Selection;
 use simt_isa::Instr;
-use simt_regfile::{OperandVec, MAX_LANES, NULL_META};
+use simt_regfile::OperandVec;
 
 impl Sm {
     /// Execute one control-flow instruction.
@@ -38,9 +38,28 @@ impl Sm {
         }
     }
 
-    /// The lane-wise reference path.
+    /// The lane-wise reference path. Scratch staleness audit: `a`/`am`/`b`
+    /// are fully overwritten by the operand reads; `next_pc` is explicitly
+    /// re-filled with the sequential PC; `metas` (the spare `bm` scratch) is
+    /// written for every active lane that survives the check phase before
+    /// any lane reads it back; `r`/`rm` are `[..lanes]`-filled when written
+    /// back at all.
     fn exec_flow_lanewise(
         &mut self,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let mut bufs = self.take_bufs();
+        let res = self.flow_lanewise_with(&mut bufs, w, sel, instr, costs);
+        self.put_bufs(bufs);
+        res
+    }
+
+    fn flow_lanewise_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
         w: u32,
         sel: &Selection,
         instr: Instr,
@@ -49,11 +68,8 @@ impl Sm {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
         let cheri = self.cheri();
-        let mut a = [0u64; MAX_LANES];
-        let mut am = [NULL_META; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
-        let mut rm = [NULL_META; MAX_LANES];
-        let mut next_pc = [sel.pc.wrapping_add(4); MAX_LANES];
+        let crate::sm::LaneBufs { a, am, b, bm: metas, r, rm, pcs: next_pc, .. } = bufs;
+        next_pc[..lanes].fill(sel.pc.wrapping_add(4));
         let mut rd_is_cap = false;
 
         macro_rules! active {
@@ -85,11 +101,10 @@ impl Sm {
             Instr::Jalr { rd, rs1, off } => {
                 if cheri {
                     self.stats.count_cheri("CJALR", 1);
-                    self.read_cap_operand(w, rs1, &mut a, &mut am, costs);
+                    self.read_cap_operand(w, rs1, a, am, costs);
                     // Check phase: fetch-check every active lane's target
                     // before installing any lane's PCC metadata, so a trap
                     // leaves the whole warp's PCC state untouched.
-                    let mut metas = [NULL_META; MAX_LANES];
                     let mut faults: Vec<LaneFault> = Vec::new();
                     for i in active!() {
                         let cap = Self::cap_of(am[i], a[i]);
@@ -117,7 +132,7 @@ impl Sm {
                     rm[..lanes].fill(m);
                     rd_is_cap = true;
                 } else {
-                    self.read_data(w, rs1, &mut a, costs);
+                    self.read_data(w, rs1, a, costs);
                     for i in active!() {
                         next_pc[i] = (a[i] as u32).wrapping_add(off as u32) & !1;
                     }
@@ -126,9 +141,8 @@ impl Sm {
                 Some(rd)
             }
             Instr::Branch { cond, rs1, rs2, off } => {
-                self.read_data(w, rs1, &mut a, costs);
-                let mut b = [0u64; MAX_LANES];
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_data(w, rs1, a, costs);
+                self.read_data(w, rs2, b, costs);
                 let target = sel.pc.wrapping_add(off as u32);
                 for i in active!() {
                     if exec::branch_taken(cond, a[i] as u32, b[i] as u32) {
@@ -140,9 +154,9 @@ impl Sm {
             _ => unreachable!("not a flow-class instruction"),
         };
         if let Some(rd) = write_rd {
-            self.writeback(w, rd, &r, rd_is_cap.then_some(&rm[..]), mask, costs);
+            self.writeback(w, rd, &r[..], rd_is_cap.then_some(&rm[..]), mask, costs);
         }
-        self.advance(w, sel, &next_pc, None);
+        self.advance(w, sel, next_pc, None);
         Ok(())
     }
 
@@ -178,13 +192,13 @@ impl Sm {
                     );
                 }
                 let target = sel.pc.wrapping_add(off as u32);
-                self.advance(w, sel, &[target; MAX_LANES], None);
+                self.advance_uniform(w, sel, target, None);
             }
             Instr::Jalr { rd, rs1, off } => {
                 let base = expect_uniform(&self.read_data_compact(w, rs1, costs));
                 let target = (base as u32).wrapping_add(off as u32) & !1;
                 self.writeback_compact(w, rd, &OperandVec::Uniform(seq as u64), None, mask, costs);
-                self.advance(w, sel, &[target; MAX_LANES], None);
+                self.advance_uniform(w, sel, target, None);
             }
             Instr::Branch { cond, rs1, rs2, off } => {
                 let a = expect_uniform(&self.read_data_compact(w, rs1, costs));
@@ -194,7 +208,7 @@ impl Sm {
                 } else {
                     seq
                 };
-                self.advance(w, sel, &[next; MAX_LANES], None);
+                self.advance_uniform(w, sel, next, None);
             }
             _ => unreachable!("not a flow-class instruction"),
         }

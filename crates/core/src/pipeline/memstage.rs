@@ -7,6 +7,7 @@
 
 use super::Costs;
 use crate::exec;
+use crate::rom::TrapPlan;
 use crate::sm::Sm;
 use crate::trap::{LaneFault, RunError, Trap, TrapCause};
 use crate::warp::Selection;
@@ -30,64 +31,115 @@ impl Sm {
         is_store: bool,
         is_cap: bool,
         lw: LoadWidth,
+        plan: TrapPlan,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let mut bufs = self.take_bufs();
+        let res = self.load_store_with(
+            &mut bufs, w, sel, addr_reg, load_rd, store_rs, off, bytes, is_store, is_cap, lw, plan,
+            costs,
+        );
+        self.put_bufs(bufs);
+        res
+    }
+
+    /// [`Sm::do_load_store`] over the loaned scratch. Staleness audit:
+    /// `addr`(/`addr_m` under CHERI) and `val`(/`val_m`, explicitly nulled
+    /// for the non-CHERI capability-store corner) are fully overwritten by
+    /// the operand reads before use; `eas` is written per active lane in
+    /// the check phase; `results`/`results_m` are written per active lane
+    /// in the commit phase and committed under the mask.
+    #[allow(clippy::too_many_arguments)]
+    fn load_store_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
+        w: u32,
+        sel: &Selection,
+        addr_reg: Reg,
+        load_rd: Option<Reg>,
+        store_rs: Reg,
+        off: i32,
+        bytes: u32,
+        is_store: bool,
+        is_cap: bool,
+        lw: LoadWidth,
+        plan: TrapPlan,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
         let cheri = self.cheri();
-        let mut addr = [0u64; MAX_LANES];
-        let mut addr_m = [NULL_META; MAX_LANES];
-        let mut val = [0u64; MAX_LANES];
-        let mut val_m = [NULL_META; MAX_LANES];
+        debug_assert_eq!(plan.has(TrapPlan::CHERI_ACCESS), cheri);
+        let crate::sm::LaneBufs {
+            a: addr,
+            am: addr_m,
+            b: val,
+            bm: val_m,
+            r: results,
+            rm: results_m,
+            eas,
+            dram_reqs,
+            scratch_reqs,
+            ..
+        } = bufs;
         if cheri {
-            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
+            self.read_cap_operand(w, addr_reg, addr, addr_m, costs);
         } else {
-            self.read_data(w, addr_reg, &mut addr, costs);
+            self.read_data(w, addr_reg, addr, costs);
         }
         if is_store {
             if is_cap && cheri {
-                self.read_cap_operand(w, store_rs, &mut val, &mut val_m, costs);
+                self.read_cap_operand(w, store_rs, val, val_m, costs);
             } else {
-                self.read_data(w, store_rs, &mut val, costs);
+                self.read_data(w, store_rs, val, costs);
+                if is_cap {
+                    // Capability store without CHERI metadata: commit null
+                    // metadata, exactly as the zero-initialised scratch did.
+                    val_m[..lanes].fill(NULL_META);
+                }
             }
         }
 
         // Check phase: effective address, routing, CHERI/bounds-table and
         // mapping checks for *every* active lane. Nothing commits unless
         // the whole warp is clean, so traps are warp-precise and carry the
-        // full faulting-lane set.
-        let mut eas = [0u32; MAX_LANES];
+        // full faulting-lane set. The pre-decoded trap plan skips probes
+        // the op can never need (e.g. the alignment check of a byte
+        // access); the probes it keeps behave exactly as before.
         let mut faults: Vec<LaneFault> = Vec::new();
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
             let ea = (addr[i] as u32).wrapping_add(off as u32);
             eas[i] = ea;
             let mut cause = None;
-            if cheri {
+            if plan.has(TrapPlan::CHERI_ACCESS) {
                 let cap = Self::cap_of(addr_m[i], addr[i]);
                 cause = cap
                     .check_access(ea, AccessWidth::from_bytes(bytes), is_store, is_cap)
                     .err()
                     .map(TrapCause::Cheri);
             } else {
-                if let Some(t) = &self.bounds_table {
-                    match t.translate(ea, bytes) {
-                        Ok(real) => eas[i] = real,
-                        Err(c) => cause = Some(c),
+                if plan.has(TrapPlan::BOUNDS_TABLE) {
+                    if let Some(t) = &self.bounds_table {
+                        match t.translate(ea, bytes) {
+                            Ok(real) => eas[i] = real,
+                            Err(c) => cause = Some(c),
+                        }
                     }
                 }
-                if cause.is_none() && eas[i] % bytes != 0 {
+                if plan.has(TrapPlan::ALIGNMENT) && cause.is_none() && eas[i] % bytes != 0 {
                     cause = Some(TrapCause::Mem(MemFault::Misaligned(eas[i])));
                 }
             }
             // Mapping probe: read-side checks are identical to write-side
-            // checks in both memories, so a non-mutating read catches every
-            // mapping fault the commit phase could hit.
-            if cause.is_none() {
+            // checks in both memories, so a validation-only probe catches
+            // every mapping fault the commit phase could hit without
+            // paying for the data assembly twice.
+            if plan.has(TrapPlan::MAPPING) && cause.is_none() {
                 cause = match (map::route(eas[i], self.cfg.dram_size), is_cap) {
-                    (map::Region::Dram, false) => self.mem.read(eas[i], bytes).err(),
-                    (map::Region::Dram, true) => self.mem.read_cap(eas[i]).err(),
-                    (map::Region::Scratch, false) => self.scratch.read(eas[i], bytes).err(),
-                    (map::Region::Scratch, true) => self.scratch.read_cap(eas[i]).err(),
+                    (map::Region::Dram, false) => self.mem.check(eas[i], bytes).err(),
+                    (map::Region::Dram, true) => self.mem.check_cap(eas[i]).err(),
+                    (map::Region::Scratch, false) => self.scratch.check(eas[i], bytes).err(),
+                    (map::Region::Scratch, true) => self.scratch.check_cap(eas[i]).err(),
                     _ => Some(MemFault::Unmapped(eas[i])),
                 }
                 .map(TrapCause::Mem);
@@ -102,10 +154,8 @@ impl Sm {
 
         // Commit phase: functional access + request collection. The check
         // phase vouched for every lane, so no access below can fault.
-        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
-        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
-        let mut results = [0u64; MAX_LANES];
-        let mut results_m = [NULL_META; MAX_LANES];
+        dram_reqs.clear();
+        scratch_reqs.clear();
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
             let ea = eas[i];
             let region = map::route(ea, self.cfg.dram_size);
@@ -168,14 +218,14 @@ impl Sm {
         }
 
         // Timing.
-        self.charge_memory(w, &dram_reqs, &scratch_reqs, is_store);
+        self.charge_memory(w, dram_reqs, scratch_reqs, is_store);
 
         // Writeback.
         if let Some(rd) = load_rd {
-            self.write_data(w, rd, &results, mask, costs);
+            self.write_data(w, rd, &results[..], mask, costs);
             if cheri {
                 if is_cap {
-                    self.write_meta(w, rd, &results_m, mask, costs);
+                    self.write_meta(w, rd, &results_m[..], mask, costs);
                 } else {
                     self.write_meta_null(w, rd, mask, costs);
                 }
@@ -193,44 +243,78 @@ impl Sm {
         rd: Reg,
         op: simt_isa::AmoOp,
         operands: &[u64; MAX_LANES],
+        plan: TrapPlan,
+        costs: &mut Costs,
+    ) -> Result<(), RunError> {
+        let mut bufs = self.take_bufs();
+        let res = self.amo_with(&mut bufs, w, sel, addr_reg, rd, op, operands, plan, costs);
+        self.put_bufs(bufs);
+        res
+    }
+
+    /// [`Sm::do_amo`] over the loaned scratch. Staleness audit: `addr`
+    /// (/`addr_m` under CHERI) is fully overwritten by the operand read;
+    /// `eas` is written per active lane in the check phase; `results` is
+    /// written per active lane in the commit phase and committed under the
+    /// mask.
+    #[allow(clippy::too_many_arguments)]
+    fn amo_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
+        w: u32,
+        sel: &Selection,
+        addr_reg: Reg,
+        rd: Reg,
+        op: simt_isa::AmoOp,
+        operands: &[u64; MAX_LANES],
+        plan: TrapPlan,
         costs: &mut Costs,
     ) -> Result<(), RunError> {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
         let cheri = self.cheri();
-        let mut addr = [0u64; MAX_LANES];
-        let mut addr_m = [NULL_META; MAX_LANES];
+        debug_assert_eq!(plan.has(TrapPlan::CHERI_ACCESS), cheri);
+        let crate::sm::LaneBufs {
+            a: addr,
+            am: addr_m,
+            r: results,
+            eas,
+            dram_reqs,
+            scratch_reqs,
+            ..
+        } = bufs;
         if cheri {
-            self.read_cap_operand(w, addr_reg, &mut addr, &mut addr_m, costs);
+            self.read_cap_operand(w, addr_reg, addr, addr_m, costs);
         } else {
-            self.read_data(w, addr_reg, &mut addr, costs);
+            self.read_data(w, addr_reg, addr, costs);
         }
         // Check phase: an AMO both loads and stores, so every active lane
         // passes both CHERI checks plus the mapping probe before any lane's
         // read-modify-write commits.
-        let mut eas = [0u32; MAX_LANES];
         let mut faults: Vec<LaneFault> = Vec::new();
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
             let mut ea = addr[i] as u32;
             let mut cause = None;
-            if cheri {
+            if plan.has(TrapPlan::CHERI_ACCESS) {
                 let cap = Self::cap_of(addr_m[i], addr[i]);
                 cause = cap
                     .check_access(ea, AccessWidth::Word, false, false)
                     .and_then(|_| cap.check_access(ea, AccessWidth::Word, true, false))
                     .err()
                     .map(TrapCause::Cheri);
-            } else if let Some(t) = &self.bounds_table {
-                match t.translate(ea, 4) {
-                    Ok(real) => ea = real,
-                    Err(c) => cause = Some(c),
+            } else if plan.has(TrapPlan::BOUNDS_TABLE) {
+                if let Some(t) = &self.bounds_table {
+                    match t.translate(ea, 4) {
+                        Ok(real) => ea = real,
+                        Err(c) => cause = Some(c),
+                    }
                 }
             }
             eas[i] = ea;
-            if cause.is_none() {
+            if plan.has(TrapPlan::MAPPING) && cause.is_none() {
                 cause = match map::route(ea, self.cfg.dram_size) {
-                    map::Region::Dram => self.mem.read(ea, 4).err(),
-                    map::Region::Scratch => self.scratch.read(ea, 4).err(),
+                    map::Region::Dram => self.mem.check(ea, 4).err(),
+                    map::Region::Scratch => self.scratch.check(ea, 4).err(),
                     _ => Some(MemFault::Unmapped(ea)),
                 }
                 .map(TrapCause::Mem);
@@ -243,9 +327,8 @@ impl Sm {
             return Err(t.into());
         }
 
-        let mut dram_reqs: Vec<LaneRequest> = Vec::new();
-        let mut scratch_reqs: Vec<LaneRequest> = Vec::new();
-        let mut results = [0u64; MAX_LANES];
+        dram_reqs.clear();
+        scratch_reqs.clear();
         // Commit phase. Lanes perform their RMW in lane order, which defines
         // the intra-warp atomicity order.
         for i in (0..lanes).filter(|i| mask >> i & 1 == 1) {
@@ -275,20 +358,24 @@ impl Sm {
             }
         }
         // An atomic is a read + write transaction per block.
-        self.charge_memory(w, &dram_reqs, &scratch_reqs, true);
+        self.charge_memory(w, dram_reqs, scratch_reqs, true);
         if !dram_reqs.is_empty() || !scratch_reqs.is_empty() {
             // Serialise conflicting atomics: lanes hitting the same word pay
-            // one cycle each (approximating SIMTight's atomic unit).
-            let mut addrs: Vec<u32> =
-                dram_reqs.iter().chain(&scratch_reqs).map(|r| r.addr).collect();
-            let total = addrs.len();
+            // one cycle each (approximating SIMTight's atomic unit). At most
+            // one request per lane, so the addresses fit on the stack.
+            let mut addrs = [0u32; MAX_LANES];
+            let total = dram_reqs.len() + scratch_reqs.len();
+            for (slot, r) in addrs.iter_mut().zip(dram_reqs.iter().chain(scratch_reqs.iter())) {
+                *slot = r.addr;
+            }
+            let addrs = &mut addrs[..total];
             addrs.sort_unstable();
-            addrs.dedup();
-            let conflicts = (total - addrs.len()) as u64;
+            let unique = 1 + addrs.windows(2).filter(|w| w[0] != w[1]).count();
+            let conflicts = (total - unique) as u64;
             self.warps[w as usize].ready_at =
                 self.warps[w as usize].ready_at.max(self.cycle + conflicts);
         }
-        self.write_data(w, rd, &results, mask, costs);
+        self.write_data(w, rd, &results[..], mask, costs);
         if cheri {
             self.write_meta_null(w, rd, mask, costs);
         }
@@ -342,12 +429,22 @@ impl Sm {
                 }
                 None => self.coalescer.coalesce(dram_reqs),
             };
-            // Tag controller: one lookup per unique 64-byte block.
-            let mut blocks: Vec<u32> = dram_reqs.iter().map(|r| r.addr / 64).collect();
+            // Tag controller: one lookup per unique 64-byte block. One
+            // request per lane at most, so the block list fits on the stack.
+            debug_assert!(dram_reqs.len() <= MAX_LANES);
+            let mut blocks = [0u32; MAX_LANES];
+            for (slot, r) in blocks.iter_mut().zip(dram_reqs) {
+                *slot = r.addr / 64;
+            }
+            let blocks = &mut blocks[..dram_reqs.len().min(MAX_LANES)];
             blocks.sort_unstable();
-            blocks.dedup();
             let mut tag_txns = 0;
-            for b in &blocks {
+            let mut prev = None;
+            for &b in blocks.iter() {
+                if prev == Some(b) {
+                    continue;
+                }
+                prev = Some(b);
                 tag_txns += match self.sink.as_deref_mut() {
                     Some(sink) => self.tags.on_access_traced(b * 64, is_store, self.cycle, w, sink),
                     None => self.tags.on_access(b * 64, is_store),

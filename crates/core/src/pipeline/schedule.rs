@@ -4,16 +4,46 @@
 //! counter and its trace events, and deadlock detection. One call to
 //! [`Sm::step`] is one scheduler decision: issue an instruction, advance
 //! time to the next resume point, or report the run finished/deadlocked.
+//!
+//! # Basic-block runs
+//!
+//! With the pre-decoded ROM available, one step may retire a whole
+//! straight-line run: after issuing warp `w`, the scheduler re-issues `w`
+//! directly — skipping the pick scan, the barrier-release pass and
+//! active-thread selection — for as long as re-issuing `w` is exactly what
+//! the per-issue dispatcher would have decided. That holds iff, each
+//! iteration:
+//!
+//! * the op just issued was straight-line and delivered no trap, so every
+//!   selected lane sits at `pc + 4` with unchanged status and PCC
+//!   metadata;
+//! * the next slot exists, decodes, and is not a block leader;
+//! * `w` was converged (its selection covered every runnable lane), so
+//!   the incremented selection *is* `select()`'s answer;
+//! * `w` is still ready and the watchdog has not expired; and
+//! * no other warp is pickable — the round-robin pointer is at `w + 1`
+//!   and `w` scans last, so the dispatcher would re-pick `w` exactly when
+//!   every other warp is done, parked or not yet ready.
+//!
+//! Barrier release needs no re-check inside a run: statuses are frozen
+//! while it lasts (a status change ends it), `w` stays live so `w`'s own
+//! block cannot release, and any block releasable before the run was
+//! released by the pass that preceded it. Each issue still runs the full
+//! fetch/classify/execute/account path, so trace events, statistics and
+//! architectural state are bit-identical with block runs disabled — the
+//! differential suite pins this.
 
 use super::StepOutcome;
+use crate::rom::pc_index;
 use crate::sm::Sm;
 use crate::trap::RunError;
-use crate::warp::{ThreadStatus, Warp};
+use crate::warp::{Selection, ThreadStatus};
 use simt_trace::{StallCause, TraceEvent, NO_WARP};
 
 impl Sm {
     /// One scheduler step: release barriers, pick a ready warp round-robin
-    /// and issue it, or advance time to the next resume point.
+    /// and issue it (plus, with the pre-decoded ROM, the rest of its
+    /// straight-line run), or advance time to the next resume point.
     ///
     /// # Errors
     ///
@@ -21,41 +51,69 @@ impl Sm {
     /// past `max_cycles`, and [`RunError::Deadlock`] when only
     /// barrier-blocked warps remain and no block can release.
     pub(crate) fn step(&mut self, max_cycles: u64) -> Result<StepOutcome, RunError> {
-        if self.warps.iter().all(Warp::done) {
-            return Ok(StepOutcome::Done);
+        // Barrier maintenance (and the done/timeout checks that must
+        // precede it) runs only while some thread may be parked:
+        // `maybe_parked` is raised by the barrier op and lowered here once
+        // a scan finds nothing parked, so barrier-free stretches pay no
+        // per-step warp scans at all. A released warp resumes no earlier
+        // than `cycle + 1`, so releasing before the pick never changes
+        // this step's pick.
+        if self.maybe_parked {
+            let mut any_parked = false;
+            let mut all_done = true;
+            for w in &self.warps {
+                debug_assert_eq!(w.runnable == 0 && w.parked == 0, w.done_fast());
+                any_parked |= w.parked > 0;
+                all_done &= w.runnable == 0 && w.parked == 0;
+            }
+            if all_done {
+                return Ok(StepOutcome::Done);
+            }
+            if self.cycle >= max_cycles {
+                return Err(RunError::Timeout { cycles: self.cycle });
+            }
+            if any_parked {
+                self.release_barriers();
+            } else {
+                self.maybe_parked = false;
+            }
         }
-        if self.cycle >= max_cycles {
-            return Err(RunError::Timeout { cycles: self.cycle });
-        }
-        self.release_barriers();
 
         let n = self.warps.len();
         let mut picked = None;
         for i in 0..n {
             let w = (self.rr + i) % n;
-            let warp = &self.warps[w];
-            if !warp.done()
-                && !warp.blocked_at_barrier()
-                && warp.ready_at <= self.cycle
-                && warp.select().is_some()
-            {
+            if self.pickable(w) {
                 picked = Some(w);
                 break;
             }
         }
         match picked {
             Some(w) => {
+                // A pickable warp implies the SM is not done, so the Done
+                // check is needed only on the no-pick path below.
+                if self.cycle >= max_cycles {
+                    return Err(RunError::Timeout { cycles: self.cycle });
+                }
                 self.rr = (w + 1) % n;
-                self.issue(w)?;
+                let pre_suppressed = self.suppressed.len();
+                let sel = self.issue(w)?;
+                self.block_run(w, sel, pre_suppressed, max_cycles)?;
             }
             None => {
+                let mut all_done = true;
+                for w in &self.warps {
+                    debug_assert_eq!(w.runnable == 0 && w.parked == 0, w.done_fast());
+                    all_done &= w.runnable == 0 && w.parked == 0;
+                }
+                if all_done {
+                    return Ok(StepOutcome::Done);
+                }
+                if self.cycle >= max_cycles {
+                    return Err(RunError::Timeout { cycles: self.cycle });
+                }
                 // Advance time to the next resume point.
-                let next = self
-                    .warps
-                    .iter()
-                    .filter(|w| !w.done() && !w.blocked_at_barrier())
-                    .map(|w| w.ready_at)
-                    .min();
+                let next = self.warps.iter().filter(|w| w.runnable > 0).map(|w| w.ready_at).min();
                 match next {
                     Some(t) if t > self.cycle => {
                         self.stats.stalls.idle += t - self.cycle;
@@ -66,13 +124,80 @@ impl Sm {
                         // Only barrier-blocked warps remain and the
                         // release pass freed none: deadlock.
                         let blocked_warps =
-                            self.warps.iter().filter(|w| w.blocked_at_barrier()).count() as u32;
+                            self.warps.iter().filter(|w| w.blocked_at_barrier_fast()).count()
+                                as u32;
                         return Err(RunError::Deadlock { cycles: self.cycle, blocked_warps });
                     }
                 }
             }
         }
         Ok(StepOutcome::Progress)
+    }
+
+    /// Would the pick scan take warp `w` this cycle? A runnable thread
+    /// implies the warp is neither done nor barrier-blocked and that
+    /// `select()` returns a selection, so the whole original four-part
+    /// test collapses to two O(1) reads.
+    #[inline]
+    fn pickable(&self, w: usize) -> bool {
+        let warp = &self.warps[w];
+        debug_assert_eq!(
+            warp.runnable > 0,
+            !warp.done() && !warp.blocked_at_barrier() && warp.select().is_some()
+        );
+        warp.runnable > 0 && warp.ready_at <= self.cycle
+    }
+
+    /// Retire the rest of warp `w`'s straight-line run (see the module
+    /// docs). `sel` is the selection just issued and `pre_suppressed` the
+    /// suppressed-trap count from before that issue.
+    fn block_run(
+        &mut self,
+        w: usize,
+        mut sel: Selection,
+        mut pre_suppressed: usize,
+        max_cycles: u64,
+    ) -> Result<(), RunError> {
+        if !self.block_runs || self.rom.is_none() {
+            return Ok(());
+        }
+        loop {
+            // A suppressed trap abandoned the issue without advancing the
+            // PCs, so the incremented selection would be wrong.
+            if self.suppressed.len() != pre_suppressed {
+                return Ok(());
+            }
+            let rom = self.rom.as_ref().expect("checked on entry");
+            let Some(idx) = pc_index(sel.pc) else { return Ok(()) };
+            let straight = match rom.ops.get(idx) {
+                Some(Some(op)) => op.straight,
+                _ => false,
+            };
+            if !straight {
+                return Ok(());
+            }
+            match rom.ops.get(idx + 1) {
+                Some(Some(next)) if !next.leader => {}
+                _ => return Ok(()),
+            }
+            let warp = &self.warps[w];
+            if warp.ready_at > self.cycle || self.cycle >= max_cycles {
+                return Ok(());
+            }
+            // Convergence: the selection must have covered every runnable
+            // lane (select() only ever picks runnable lanes, so equal
+            // counts mean equal sets).
+            if sel.mask.count_ones() != warp.runnable {
+                return Ok(());
+            }
+            if (0..self.warps.len()).any(|o| o != w && self.pickable(o)) {
+                return Ok(());
+            }
+            sel = Selection { mask: sel.mask, pc: sel.pc.wrapping_add(4), pcc_meta: sel.pcc_meta };
+            debug_assert_eq!(self.warps[w].select(), Some(sel));
+            pre_suppressed = self.suppressed.len();
+            self.issue_with(w, sel)?;
+        }
     }
 
     /// Release barriers: a block whose live warps are all blocked at the
@@ -83,17 +208,18 @@ impl Sm {
         let mut b = 0;
         while b < n {
             let group = b..(b + per_block).min(n);
-            let any_blocked = group.clone().any(|w| self.warps[w].blocked_at_barrier());
-            let all_parked =
-                group.clone().all(|w| self.warps[w].done() || self.warps[w].blocked_at_barrier());
+            let any_blocked = group.clone().any(|w| self.warps[w].blocked_at_barrier_fast());
+            let all_parked = group
+                .clone()
+                .all(|w| self.warps[w].done_fast() || self.warps[w].blocked_at_barrier_fast());
             if any_blocked && all_parked {
                 for w in group {
                     let released = {
                         let warp = &mut self.warps[w];
                         let mut released = false;
-                        for s in &mut warp.status {
-                            if *s == ThreadStatus::AtBarrier {
-                                *s = ThreadStatus::Active;
+                        for i in 0..warp.lanes() as usize {
+                            if warp.status[i] == ThreadStatus::AtBarrier {
+                                warp.set_status(i, ThreadStatus::Active);
                                 released = true;
                             }
                         }
@@ -112,6 +238,36 @@ impl Sm {
                 }
             }
             b += per_block;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sm::Sm;
+    use crate::trap::RunError;
+    use crate::warp::ThreadStatus;
+    use crate::{CheriMode, SmConfig};
+    use simt_isa::asm::Assembler;
+
+    /// A scheduler bug that issues a warp with no selectable thread must
+    /// surface as a typed [`RunError::SchedulerInvariant`], not a process
+    /// abort (the former `expect("issue() requires a selectable warp")`).
+    #[test]
+    fn issue_without_selectable_warp_is_a_typed_error() {
+        let mut a = Assembler::new();
+        a.terminate();
+        let mut sm = Sm::new(SmConfig::small(CheriMode::Off));
+        sm.load_program(&a.assemble());
+        sm.reset();
+        // Simulate the bug: every thread of warp 0 finished, yet the warp
+        // is handed to issue() anyway.
+        for lane in 0..sm.warps[0].lanes() as usize {
+            sm.warps[0].set_status(lane, ThreadStatus::Terminated);
+        }
+        match sm.issue(0) {
+            Err(RunError::SchedulerInvariant { warp: 0, .. }) => {}
+            other => panic!("expected SchedulerInvariant, got {other:?}"),
         }
     }
 }

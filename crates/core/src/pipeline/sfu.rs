@@ -11,7 +11,7 @@ use crate::exec;
 use crate::sm::Sm;
 use crate::warp::Selection;
 use simt_isa::Instr;
-use simt_regfile::{OperandVec, MAX_LANES};
+use simt_regfile::OperandVec;
 
 impl Sm {
     /// Execute one FP-class instruction (always writes `rd`, never traps,
@@ -29,16 +29,29 @@ impl Sm {
         } else {
             self.exec_sfu_lanewise(w, sel, instr, costs);
         }
-        self.advance(w, sel, &[sel.pc.wrapping_add(4); MAX_LANES], None);
+        self.advance_uniform(w, sel, sel.pc.wrapping_add(4), None);
     }
 
-    /// The lane-wise reference path.
+    /// The lane-wise reference path. Scratch staleness audit: `a`/`b` are
+    /// fully overwritten by `read_data`; `r` is written per active lane and
+    /// committed under the mask.
     fn exec_sfu_lanewise(&mut self, w: u32, sel: &Selection, instr: Instr, costs: &mut Costs) {
+        let mut bufs = self.take_bufs();
+        self.sfu_lanewise_with(&mut bufs, w, sel, instr, costs);
+        self.put_bufs(bufs);
+    }
+
+    fn sfu_lanewise_with(
+        &mut self,
+        bufs: &mut crate::sm::LaneBufs,
+        w: u32,
+        sel: &Selection,
+        instr: Instr,
+        costs: &mut Costs,
+    ) {
         let lanes = self.cfg.lanes as usize;
         let mask = sel.mask;
-        let mut a = [0u64; MAX_LANES];
-        let mut b = [0u64; MAX_LANES];
-        let mut r = [0u64; MAX_LANES];
+        let crate::sm::LaneBufs { a, b, r, .. } = bufs;
 
         macro_rules! active {
             () => {
@@ -48,8 +61,8 @@ impl Sm {
 
         let rd = match instr {
             Instr::FOp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_data(w, rs1, a, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     r[i] = exec::fp(op, a[i] as u32, b[i] as u32) as u64;
                 }
@@ -59,7 +72,7 @@ impl Sm {
                 rd
             }
             Instr::FSqrt { rd, rs1 } => {
-                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs1, a, costs);
                 for i in active!() {
                     r[i] = exec::fsqrt(a[i] as u32) as u64;
                 }
@@ -67,22 +80,22 @@ impl Sm {
                 rd
             }
             Instr::FCmp { op, rd, rs1, rs2 } => {
-                self.read_data(w, rs1, &mut a, costs);
-                self.read_data(w, rs2, &mut b, costs);
+                self.read_data(w, rs1, a, costs);
+                self.read_data(w, rs2, b, costs);
                 for i in active!() {
                     r[i] = exec::fcmp(op, a[i] as u32, b[i] as u32) as u64;
                 }
                 rd
             }
             Instr::FCvtWS { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs1, a, costs);
                 for i in active!() {
                     r[i] = exec::fcvt_ws(a[i] as u32, signed) as u64;
                 }
                 rd
             }
             Instr::FCvtSW { rd, rs1, signed } => {
-                self.read_data(w, rs1, &mut a, costs);
+                self.read_data(w, rs1, a, costs);
                 for i in active!() {
                     r[i] = exec::fcvt_sw(a[i] as u32, signed) as u64;
                 }
@@ -90,7 +103,7 @@ impl Sm {
             }
             _ => unreachable!("not an FP-class instruction"),
         };
-        self.writeback(w, rd, &r, None, mask, costs);
+        self.writeback(w, rd, &r[..], None, mask, costs);
     }
 
     /// The warp-wide fast path (uniform operands only).

@@ -156,14 +156,53 @@ impl Sm {
         next_pc: &[u32; MAX_LANES],
         status_change: Option<ThreadStatus>,
     ) {
+        if status_change == Some(ThreadStatus::AtBarrier) {
+            self.maybe_parked = true;
+        }
         let warp = &mut self.warps[w as usize];
+        warp.cached_sel = None;
         for (i, &pc) in next_pc.iter().enumerate().take(self.cfg.lanes as usize) {
             if sel.mask >> i & 1 == 1 {
                 warp.pc[i] = pc;
                 if let Some(s) = status_change {
-                    warp.status[i] = s;
+                    warp.set_status(i, s);
                 }
             }
+        }
+    }
+
+    /// [`Sm::advance`] for the common case of every selected thread
+    /// stepping to the same `next_pc` with no PCC-metadata change. When the
+    /// selection covered every runnable thread, the next [`Warp::select`]
+    /// answer is fully determined — same mask and metadata at `next_pc` —
+    /// so it is memoised instead of rescanned (a `status_change` forces a
+    /// rescan: the surviving selection depends on the new statuses).
+    pub(crate) fn advance_uniform(
+        &mut self,
+        w: u32,
+        sel: &Selection,
+        next_pc: u32,
+        status_change: Option<ThreadStatus>,
+    ) {
+        if status_change == Some(ThreadStatus::AtBarrier) {
+            self.maybe_parked = true;
+        }
+        let warp = &mut self.warps[w as usize];
+        warp.cached_sel = None;
+        for i in 0..self.cfg.lanes as usize {
+            if sel.mask >> i & 1 == 1 {
+                warp.pc[i] = next_pc;
+                if let Some(s) = status_change {
+                    warp.set_status(i, s);
+                }
+            }
+        }
+        if status_change.is_none() && sel.mask.count_ones() == warp.runnable {
+            // select() only ever picks runnable threads, so equal counts
+            // mean the selection covered exactly the runnable set; they all
+            // now sit at `next_pc` with unchanged metadata.
+            warp.cached_sel =
+                Some(Selection { mask: sel.mask, pc: next_pc, pcc_meta: sel.pcc_meta });
         }
     }
 }

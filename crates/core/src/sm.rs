@@ -15,8 +15,59 @@ use crate::warp::Warp;
 use cheri_cap::{CapMem, CapPipe, Perms};
 use simt_isa::Instr;
 use simt_mem::{map, CoalescingUnit, Dram, MainMemory, Scratchpad, TagController};
-use simt_regfile::{CompressedRegFile, RfConfig};
+use simt_regfile::{CompressedRegFile, RfConfig, MAX_LANES};
 use simt_trace::{EventSink, StallCause, TraceEvent};
+
+/// Reusable per-lane scratch buffers for the lane-wise execute paths.
+///
+/// The reference handlers work over `MAX_LANES`-sized arrays regardless of
+/// the configured lane count; allocating (and zero-filling) those on the
+/// stack per issue dominates the host-model cost of small geometries. One
+/// boxed copy lives on the [`Sm`] instead, loaned out with a take/put
+/// pattern (see [`Sm::take_bufs`]). Contents are *stale* between issues by
+/// design: every handler fully writes the lanes it reads back, or reads
+/// only under the mask it wrote (audited per handler at the use sites).
+#[derive(Debug)]
+pub(crate) struct LaneBufs {
+    /// First data operand (or memory address).
+    pub a: [u64; MAX_LANES],
+    /// Second data operand (or store value).
+    pub b: [u64; MAX_LANES],
+    /// Metadata of `a`.
+    pub am: [u64; MAX_LANES],
+    /// Metadata of `b` (or a spare metadata scratch).
+    pub bm: [u64; MAX_LANES],
+    /// Result data.
+    pub r: [u64; MAX_LANES],
+    /// Result metadata.
+    pub rm: [u64; MAX_LANES],
+    /// Per-lane next PCs (control flow).
+    pub pcs: [u32; MAX_LANES],
+    /// Per-lane effective addresses (memory stage).
+    pub eas: [u32; MAX_LANES],
+    /// DRAM lane requests of the in-flight memory op (capacity retained
+    /// across issues; cleared by each user before filling).
+    pub dram_reqs: Vec<simt_mem::LaneRequest>,
+    /// Scratchpad lane requests (same contract as `dram_reqs`).
+    pub scratch_reqs: Vec<simt_mem::LaneRequest>,
+}
+
+impl LaneBufs {
+    fn new() -> Box<Self> {
+        Box::new(LaneBufs {
+            a: [0; MAX_LANES],
+            b: [0; MAX_LANES],
+            am: [0; MAX_LANES],
+            bm: [0; MAX_LANES],
+            r: [0; MAX_LANES],
+            rm: [0; MAX_LANES],
+            pcs: [0; MAX_LANES],
+            eas: [0; MAX_LANES],
+            dram_reqs: Vec::with_capacity(MAX_LANES),
+            scratch_reqs: Vec::with_capacity(MAX_LANES),
+        })
+    }
+}
 
 /// The streaming multiprocessor model.
 #[derive(Debug)]
@@ -25,12 +76,25 @@ pub struct Sm {
     pub(crate) opts: Option<CheriOpts>,
     pub(crate) imem: Vec<Option<Instr>>,
     pub(crate) imem_raw: Vec<u32>,
+    /// The pre-decoded program ROM (`Some` iff `cfg.predecode` and a
+    /// program is loaded). Pure cache over `imem_raw`: see [`crate::rom`].
+    pub(crate) rom: Option<crate::rom::ProgramRom>,
     pub(crate) warps: Vec<Warp>,
     pub(crate) data_rf: CompressedRegFile,
     pub(crate) meta_rf: Option<CompressedRegFile>,
     pub(crate) scrs: [CapMem; 32],
     /// PCC for kernel launch (code capability over the loaded program).
     pub(crate) launch_pcc: CapPipe,
+    /// The launch PCC in warp-metadata form (`meta | tag << 32`), for the
+    /// memoised fetch check: a warp still running on the launch PCC needs
+    /// no per-issue `check_fetch` once the whole program is known covered.
+    pub(crate) launch_pcc_meta: u64,
+    /// Verified at load time: `check_fetch` passes for **every** aligned
+    /// PC of the loaded program under the launch PCC metadata, so the
+    /// issue path may skip the check whenever the selection's metadata
+    /// equals `launch_pcc_meta`, its PC is aligned and its index is in
+    /// range. Exact, not heuristic — each slot was probed.
+    pub(crate) pcc_fetch_ok: bool,
     pub(crate) mem: MainMemory,
     pub(crate) scratch: Scratchpad,
     pub(crate) dram: Dram,
@@ -67,6 +131,34 @@ pub struct Sm {
     /// Traps suppressed under `TrapPolicy::MaskLanes` this launch, in
     /// delivery order (empty under `Abort`).
     pub(crate) suppressed: Vec<Trap>,
+    /// Let the scheduler retire straight-line basic blocks without
+    /// re-entering the per-issue pick loop (requires the pre-decoded ROM).
+    /// Disabled by [`crate::Device`] for multi-SM devices, whose
+    /// instruction-granular arbitration must interleave SMs per issue.
+    pub(crate) block_runs: bool,
+    /// Loaned-out lane scratch (`None` only while a handler holds it).
+    pub(crate) bufs: Option<Box<LaneBufs>>,
+    /// Conservative "some thread may be parked at a barrier" flag: raised
+    /// by the commit path whenever a thread parks, lowered by the
+    /// scheduler once a scan finds nothing parked. Lets barrier-free
+    /// stretches skip the per-step barrier/done scans entirely.
+    pub(crate) maybe_parked: bool,
+}
+
+impl Sm {
+    /// Borrow the lane scratch buffers for a lane-wise handler. Callers
+    /// must hand them back with [`Sm::put_bufs`] on every exit path
+    /// (including trap returns).
+    #[inline]
+    pub(crate) fn take_bufs(&mut self) -> Box<LaneBufs> {
+        self.bufs.take().expect("lane scratch buffers already loaned out")
+    }
+
+    /// Return the lane scratch buffers taken by [`Sm::take_bufs`].
+    #[inline]
+    pub(crate) fn put_bufs(&mut self, bufs: Box<LaneBufs>) {
+        self.bufs = Some(bufs);
+    }
 }
 
 impl Sm {
@@ -96,11 +188,14 @@ impl Sm {
             opts,
             imem: Vec::new(),
             imem_raw: Vec::new(),
+            rom: None,
             warps: Vec::new(),
             data_rf,
             meta_rf,
             scrs: [CapMem::NULL; 32],
             launch_pcc: CapPipe::null(),
+            launch_pcc_meta: 0,
+            pcc_fetch_ok: false,
             mem: MainMemory::new(map::DRAM_BASE, cfg.dram_size),
             scratch: Scratchpad::new(map::SCRATCH_BASE, map::SCRATCH_SIZE, cfg.lanes),
             dram: Dram::new(cfg.dram),
@@ -120,6 +215,9 @@ impl Sm {
             device_threads: cfg.threads(),
             scalarise: true,
             suppressed: Vec::new(),
+            block_runs: true,
+            bufs: Some(LaneBufs::new()),
+            maybe_parked: true,
             cfg,
         }
     }
@@ -208,6 +306,20 @@ impl Sm {
         self.scalarise = enabled;
     }
 
+    /// Enable or disable program pre-decoding (the micro-op ROM and the
+    /// scheduler's basic-block runs). On by default via
+    /// [`SmConfig::predecode`]. Like [`Sm::set_scalarise`] this is purely a
+    /// host-model speed knob: statistics, trace events and memory contents
+    /// are bit-identical either way, so it exists only for differential
+    /// testing of the pre-decoded path itself. Takes effect immediately —
+    /// the ROM is rebuilt from (or dropped for) the currently loaded
+    /// program.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.cfg.predecode = enabled;
+        self.rom = (enabled && !self.imem_raw.is_empty())
+            .then(|| crate::rom::ProgramRom::build(&self.imem_raw, self.cfg.cheri.enabled()));
+    }
+
     /// Emit a stall event (no-op without a sink or for zero-cycle stalls, so
     /// per-cause cycle sums always reconcile with `StallBreakdown`).
     pub(crate) fn emit_stall(&mut self, warp: u32, cause: StallCause, cycles: u64) {
@@ -256,6 +368,24 @@ impl Sm {
             .set_bounds((words.len() * 4) as u32);
         debug_assert!(exact || pcc.tag());
         self.launch_pcc = pcc;
+        // Memoise the fetch check: probe every program slot once under the
+        // launch PCC metadata, exactly as the issue path would, so a warp
+        // still running on that metadata skips the per-issue check.
+        if self.cfg.cheri.enabled() {
+            let m = self.launch_pcc.to_mem();
+            self.launch_pcc_meta = m.meta() as u64 | ((m.tag() as u64) << 32);
+            self.pcc_fetch_ok = (0..words.len()).all(|i| {
+                let pc = map::TCIM_BASE + (i as u32) * 4;
+                Self::cap_of(self.launch_pcc_meta, pc as u64).check_fetch(pc).is_ok()
+            });
+        } else {
+            self.launch_pcc_meta = 0;
+            self.pcc_fetch_ok = false;
+        }
+        self.rom = self
+            .cfg
+            .predecode
+            .then(|| crate::rom::ProgramRom::build(words, self.cfg.cheri.enabled()));
     }
 
     /// Reset warps, register files and statistics for a fresh launch.
@@ -289,6 +419,8 @@ impl Sm {
         self.sum_data_resident = 0;
         self.sum_meta_resident = 0;
         self.suppressed.clear();
+        // Conservative: let the first step scan once and lower the flag.
+        self.maybe_parked = true;
         // The sink deliberately survives the reset: each launch contributes
         // a delimited segment to one continuous stream.
         if let Some(sink) = self.sink.as_deref_mut() {

@@ -185,6 +185,15 @@ pub enum RunError {
         /// Warps parked at a barrier at that point.
         blocked_warps: u32,
     },
+    /// The scheduler issued a warp with no selectable thread — an internal
+    /// pipeline invariant violation, reported as a typed error instead of
+    /// aborting the process.
+    SchedulerInvariant {
+        /// The warp the scheduler tried to issue.
+        warp: u32,
+        /// Cycles simulated when the violation was detected.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -195,6 +204,10 @@ impl fmt::Display for RunError {
             RunError::Deadlock { cycles, blocked_warps } => write!(
                 f,
                 "barrier deadlock after {cycles} cycles ({blocked_warps} warp(s) parked at a barrier that can never release)"
+            ),
+            RunError::SchedulerInvariant { warp, cycles } => write!(
+                f,
+                "scheduler invariant violation: warp {warp} issued with no selectable thread at cycle {cycles}"
             ),
         }
     }

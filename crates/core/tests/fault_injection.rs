@@ -47,47 +47,54 @@ fn load_victim(a: &mut Assembler) {
     a.push(Instr::Clc { cd: Reg::A0, cs1: Reg::T0, off: 0 });
 }
 
+/// The per-target probe kernel: the prologue loads the (sabotaged) victim
+/// capability, then one target-specific use of it faults. Returns the
+/// program and the index of the faulting instruction.
+fn probe_program(target: CapException) -> (Vec<u32>, usize) {
+    let mut a = Assembler::new();
+    load_victim(&mut a);
+    let fault_idx = match target {
+        CapException::PermitStoreViolation => {
+            let i = a.len();
+            a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::ZERO, rs1: Reg::A0, off: 0 });
+            i
+        }
+        CapException::PermitStoreCapViolation => {
+            let i = a.len();
+            a.push(Instr::Csc { cs2: Reg::A0, cs1: Reg::A0, off: 0 });
+            i
+        }
+        CapException::PermitExecuteViolation => {
+            let i = a.len();
+            a.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, off: 0 });
+            i
+        }
+        CapException::PermitLoadCapViolation | CapException::AlignmentViolation => {
+            let i = a.len();
+            a.push(Instr::Clc { cd: Reg::A1, cs1: Reg::A0, off: 0 });
+            i
+        }
+        CapException::InexactBounds => {
+            a.li(Reg::A2, 1 << 20);
+            let i = a.len();
+            a.push(Instr::CSetBoundsExact { cd: Reg::A1, cs1: Reg::A0, rs2: Reg::A2 });
+            i
+        }
+        _ => {
+            let i = a.len();
+            a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A1, rs1: Reg::A0, off: 0 });
+            i
+        }
+    };
+    a.terminate();
+    (a.assemble(), fault_idx)
+}
+
 #[test]
 fn every_cheri_exception_surfaces_with_full_attribution() {
     for target in CapException::ALL {
-        // Prologue loads the victim; one target-specific use of it faults.
-        let mut a = Assembler::new();
-        load_victim(&mut a);
-        let fault_idx = match target {
-            CapException::PermitStoreViolation => {
-                let i = a.len();
-                a.push(Instr::Store { w: StoreWidth::W, rs2: Reg::ZERO, rs1: Reg::A0, off: 0 });
-                i
-            }
-            CapException::PermitStoreCapViolation => {
-                let i = a.len();
-                a.push(Instr::Csc { cs2: Reg::A0, cs1: Reg::A0, off: 0 });
-                i
-            }
-            CapException::PermitExecuteViolation => {
-                let i = a.len();
-                a.push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::A0, off: 0 });
-                i
-            }
-            CapException::PermitLoadCapViolation | CapException::AlignmentViolation => {
-                let i = a.len();
-                a.push(Instr::Clc { cd: Reg::A1, cs1: Reg::A0, off: 0 });
-                i
-            }
-            CapException::InexactBounds => {
-                a.li(Reg::A2, 1 << 20);
-                let i = a.len();
-                a.push(Instr::CSetBoundsExact { cd: Reg::A1, cs1: Reg::A0, rs2: Reg::A2 });
-                i
-            }
-            _ => {
-                let i = a.len();
-                a.push(Instr::Load { w: LoadWidth::W, rd: Reg::A1, rs1: Reg::A0, off: 0 });
-                i
-            }
-        };
-        a.terminate();
-        let (_, result) = probe_sm(a.assemble(), arg_cap(), TrapPolicy::Abort, |m| {
+        let (prog, fault_idx) = probe_program(target);
+        let (_, result) = probe_sm(prog, arg_cap(), TrapPolicy::Abort, |m| {
             FaultInjector::new(0xFA07 + target as u64).sabotage(m, VICTIM, target);
         });
         let t = match result {
@@ -106,6 +113,36 @@ fn every_cheri_exception_surfaces_with_full_attribution() {
         for (i, lf) in t.lane_causes.iter().enumerate() {
             assert_eq!(lf.lane, i as u32, "{target:?}: lane id");
             assert_eq!(lf.cause, TrapCause::Cheri(target), "{target:?}: lane cause");
+        }
+    }
+}
+
+/// Cached trap-check plans must not skip a reachable fault: every injected
+/// CHERI exception, under both trap policies, must produce an identical
+/// outcome (trap value under `Abort`, full `KernelStats` including the
+/// fault log summary under `MaskLanes`) with predecode on and off.
+#[test]
+fn predecode_preserves_injected_fault_attribution() {
+    let run = |target: CapException, policy: TrapPolicy, predecode: bool| {
+        let (prog, _) = probe_program(target);
+        let mut cfg = SmConfig::with_geometry(1, LANES, CheriMode::On(CheriOpts::optimised()));
+        cfg.trap_policy = policy;
+        cfg.predecode = predecode;
+        let mut sm = Sm::new(cfg);
+        sm.load_program(&prog);
+        sm.set_scr(scr::ARG, arg_cap().to_mem());
+        sm.set_scr(scr::GLOBAL, CapPipe::almighty().and_perm(Perms::data()).to_mem());
+        let victim = CapPipe::almighty().set_addr(VICTIM).set_bounds(256).0;
+        sm.memory_mut().write_cap(VICTIM, victim.to_mem()).expect("victim slot is mapped");
+        sm.reset();
+        FaultInjector::new(0xFA07 + target as u64).sabotage(sm.memory_mut(), VICTIM, target);
+        sm.run(MAX)
+    };
+    for target in CapException::ALL {
+        for policy in [TrapPolicy::Abort, TrapPolicy::MaskLanes] {
+            let with_rom = run(target, policy, true);
+            let without = run(target, policy, false);
+            assert_eq!(with_rom, without, "{target:?}/{policy:?}: predecode changed the outcome");
         }
     }
 }

@@ -516,3 +516,40 @@ fn structured_sink_reconciles_with_stats() {
     let base = plain.run(MAX).unwrap();
     assert_eq!(base, stats, "tracing must not perturb the model");
 }
+
+// ---------------------------------------------------------------------------
+// Fetch-trap attribution
+// ---------------------------------------------------------------------------
+
+/// An out-of-range PC must trap as `fetch_oob` with identical attribution
+/// under every protection scheme: the instruction-memory range check runs
+/// before the CHERI PCC fetch check (DESIGN.md §3.3.4), so baseline and
+/// CHERI configs cannot disagree on the cause of the same bad PC. The
+/// integer-comparator schemes (Rust, GPUShield) share the baseline SM
+/// configuration — their differences are codegen and the memory-stage
+/// bounds table, neither of which touches fetch.
+#[test]
+fn out_of_range_pc_traps_as_fetch_oob_under_every_scheme() {
+    let schemes =
+        [CheriMode::Off, CheriMode::On(CheriOpts::naive()), CheriMode::On(CheriOpts::optimised())];
+    for cheri in schemes {
+        // Run off the end of the program: a kernel with no terminator
+        // falls through to the first PC past instruction memory. Before
+        // the ordering fix, CHERI configs reported this as a PCC bounds
+        // violation while the baseline said `fetch_oob`.
+        let mut a = Assembler::new();
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 1 });
+        a.push(Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+        let prog = a.assemble();
+        let bad = map::TCIM_BASE + 4 * prog.len() as u32;
+        let (_, r) = run_sm(SmConfig::small(cheri), prog);
+        let t = match r {
+            Err(RunError::Trap(t)) => t,
+            other => panic!("{cheri:?}: expected a fetch trap, got {other:?}"),
+        };
+        assert_eq!(t.cause, TrapCause::FetchOutOfRange(bad), "{cheri:?}: cause");
+        assert_eq!(t.cause.name(), "fetch_oob", "{cheri:?}: stable cause name");
+        assert_eq!(t.pc, bad, "{cheri:?}: the trap names the bad PC, not the jump");
+        assert_eq!(t.warp, 0, "{cheri:?}: warp attribution");
+    }
+}

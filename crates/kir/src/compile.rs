@@ -78,9 +78,9 @@ impl CompiledKernel {
     pub fn disassemble(&self) -> String {
         use core::fmt::Write as _;
         let mut out = String::with_capacity(self.words.len() * 48);
-        for (i, &w) in self.words.iter().enumerate() {
+        for (i, (w, ins)) in self.decoded().enumerate() {
             let pc = map::TCIM_BASE + 4 * i as u32;
-            match Instr::decode(w) {
+            match ins {
                 Some(ins) => {
                     let _ = writeln!(out, "{pc:08x}:  {w:08x}   {ins}");
                 }
@@ -90,6 +90,13 @@ impl CompiledKernel {
             }
         }
         out
+    }
+
+    /// The program as `(word, decoded instruction)` pairs, in fetch order —
+    /// the same decoding the SM's program ROM performs at launch. Words
+    /// that do not decode (e.g. embedded data) yield `None`.
+    pub fn decoded(&self) -> impl Iterator<Item = (u32, Option<Instr>)> + '_ {
+        self.words.iter().map(|&w| (w, Instr::decode(w)))
     }
 
     /// Static instruction count.

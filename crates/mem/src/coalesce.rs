@@ -49,12 +49,28 @@ impl CoalescingUnit {
         if reqs.is_empty() {
             return Coalesced { transactions: 0, uniform: false };
         }
-        let mut blocks: Vec<u32> = reqs.iter().map(|r| r.addr / TRANSACTION_BYTES).collect();
-        blocks.sort_unstable();
-        blocks.dedup();
         let first = reqs[0];
         let uniform = reqs.iter().all(|r| r.addr == first.addr && r.bytes == first.bytes);
-        Coalesced { transactions: blocks.len() as u32, uniform }
+        // Count distinct 64-byte blocks. A warp has at most 64 lanes, so
+        // the block list fits on the stack; the heap path only serves
+        // oversized (out-of-contract) request sets.
+        let transactions = if uniform {
+            1
+        } else if reqs.len() <= 64 {
+            let mut blocks = [0u32; 64];
+            for (b, r) in blocks.iter_mut().zip(reqs) {
+                *b = r.addr / TRANSACTION_BYTES;
+            }
+            let blocks = &mut blocks[..reqs.len()];
+            blocks.sort_unstable();
+            1 + blocks.windows(2).filter(|w| w[0] != w[1]).count() as u32
+        } else {
+            let mut blocks: Vec<u32> = reqs.iter().map(|r| r.addr / TRANSACTION_BYTES).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            blocks.len() as u32
+        };
+        Coalesced { transactions, uniform }
     }
 
     /// [`Self::coalesce`] with structured tracing: emits one

@@ -125,12 +125,12 @@ impl MainMemory {
         (addr - self.base) as usize
     }
 
-    /// Read `width` (1/2/4) bytes, zero-extended.
-    ///
-    /// # Errors
-    ///
-    /// Fails on unsupported widths and unmapped or misaligned accesses.
-    pub fn read(&self, addr: u32, width: u32) -> Result<u32, MemFault> {
+    /// Validation-only probe: succeeds exactly when [`Self::read`] (or
+    /// [`Self::write`], whose checks are identical) would, without touching
+    /// the data. Fault priority matches the accessors — width, then
+    /// mapping, then alignment — so probe-then-access reports the same
+    /// fault an access-first path would.
+    pub fn check(&self, addr: u32, width: u32) -> Result<(), MemFault> {
         if !matches!(width, 1 | 2 | 4) {
             return Err(MemFault::BadWidth(width));
         }
@@ -140,6 +140,26 @@ impl MainMemory {
         if !addr.is_multiple_of(width) {
             return Err(MemFault::Misaligned(addr));
         }
+        Ok(())
+    }
+
+    /// Validation-only probe for capability accesses: succeeds exactly when
+    /// [`Self::read_cap`]/[`Self::write_cap`] would.
+    pub fn check_cap(&self, addr: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemFault::Misaligned(addr));
+        }
+        self.check(addr, 4)?;
+        self.check(addr + 4, 4)
+    }
+
+    /// Read `width` (1/2/4) bytes, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unsupported widths and unmapped or misaligned accesses.
+    pub fn read(&self, addr: u32, width: u32) -> Result<u32, MemFault> {
+        self.check(addr, width)?;
         let o = self.off(addr);
         Ok(match width {
             1 => self.data[o] as u32,
@@ -154,15 +174,7 @@ impl MainMemory {
     ///
     /// Fails on unsupported widths and unmapped or misaligned accesses.
     pub fn write(&mut self, addr: u32, value: u32, width: u32) -> Result<(), MemFault> {
-        if !matches!(width, 1 | 2 | 4) {
-            return Err(MemFault::BadWidth(width));
-        }
-        if !self.contains(addr, width) || self.holed(addr, width) {
-            return Err(MemFault::Unmapped(addr));
-        }
-        if !addr.is_multiple_of(width) {
-            return Err(MemFault::Misaligned(addr));
-        }
+        self.check(addr, width)?;
         let o = self.off(addr);
         match width {
             1 => self.data[o] = value as u8,

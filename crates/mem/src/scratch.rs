@@ -81,6 +81,24 @@ impl Scratchpad {
         Ok(((addr - self.base) / 4) as usize)
     }
 
+    /// Validation-only probe: succeeds exactly when [`Self::read`] (or
+    /// [`Self::write`], whose checks are identical) would, without touching
+    /// the data. Fault priority matches the accessors — width, then
+    /// mapping, then alignment.
+    pub fn check(&self, addr: u32, bytes: u32) -> Result<(), MemFault> {
+        self.word_index(addr, bytes).map(|_| ())
+    }
+
+    /// Validation-only probe for capability accesses: succeeds exactly when
+    /// [`Self::read_cap`]/[`Self::write_cap`] would.
+    pub fn check_cap(&self, addr: u32) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemFault::Misaligned(addr));
+        }
+        self.check(addr, 4)?;
+        self.check(addr + 4, 4)
+    }
+
     /// Read `bytes` (1/2/4), zero-extended.
     ///
     /// # Errors
@@ -169,15 +187,34 @@ impl Scratchpad {
             return 0;
         }
         self.stats.accesses += 1;
-        let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); self.banks as usize];
-        for r in reqs {
-            let word = (r.addr.wrapping_sub(self.base)) / 4;
-            let bank = (word % self.banks) as usize;
-            if !per_bank[bank].contains(&word) {
-                per_bank[bank].push(word);
+        // A warp never issues more than 64 lane requests, so the distinct
+        // (bank, word) pairs fit on the stack — no per-access heap traffic
+        // on the simulator's hot path. (Oversized request sets would be API
+        // misuse; serve them through the boxed fallback all the same.)
+        let worst = if reqs.len() <= 64 {
+            let mut seen = [(0u32, 0u32); 64];
+            let mut n = 0usize;
+            for r in reqs {
+                let word = (r.addr.wrapping_sub(self.base)) / 4;
+                let pair = (word % self.banks, word);
+                if !seen[..n].contains(&pair) {
+                    seen[n] = pair;
+                    n += 1;
+                }
             }
-        }
-        let worst = per_bank.iter().map(Vec::len).max().unwrap_or(1).max(1) as u32;
+            (0..n).map(|i| seen[..n].iter().filter(|p| p.0 == seen[i].0).count()).max().unwrap_or(1)
+                as u32
+        } else {
+            let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); self.banks as usize];
+            for r in reqs {
+                let word = (r.addr.wrapping_sub(self.base)) / 4;
+                let bank = (word % self.banks) as usize;
+                if !per_bank[bank].contains(&word) {
+                    per_bank[bank].push(word);
+                }
+            }
+            per_bank.iter().map(Vec::len).max().unwrap_or(1).max(1) as u32
+        };
         self.stats.conflict_cycles += (worst - 1) as u64;
         worst
     }

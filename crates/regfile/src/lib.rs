@@ -360,17 +360,22 @@ impl CompressedRegFile {
             }
         }
         if let Some(null) = self.cfg.null_value {
-            let nonnull: Vec<u64> = v.iter().copied().filter(|&x| x != null).collect();
-            if let Some(&value) = nonnull.first() {
-                if nonnull.iter().all(|&x| x == value) {
-                    let mut mask = 0u64;
-                    for (i, &x) in v.iter().enumerate() {
-                        if x != null {
-                            mask |= 1 << i;
-                        }
+            // One pass, no allocation: the non-null lanes must share one
+            // value (an all-null vector is uniform and was caught above).
+            let mut value = None;
+            let mut mask = 0u64;
+            for (i, &x) in v.iter().enumerate() {
+                if x != null {
+                    match value {
+                        None => value = Some(x),
+                        Some(v0) if v0 == x => {}
+                        Some(_) => return None,
                     }
-                    return Some(Entry::PartialNull { value, mask });
+                    mask |= 1 << i;
                 }
+            }
+            if let Some(value) = value {
+                return Some(Entry::PartialNull { value, mask });
             }
         }
         None
@@ -434,15 +439,13 @@ impl CompressedRegFile {
         let (fills, spills) = self.fill(idx);
         let e = &self.entries[idx];
         let from_vrf = matches!(e, Entry::Vector { .. });
-        let e = e.clone();
-        self.expand_into(&e, out);
+        self.expand_into(e, out);
         ReadInfo { from_vrf, fills, spills }
     }
 
     /// Peek at a register without touching spill state (host/debug use).
     pub fn peek(&self, warp: u32, reg: u32, out: &mut [u64]) {
-        let e = self.entries[(warp * self.cfg.arch_regs + reg) as usize].clone();
-        self.expand_into(&e, out);
+        self.expand_into(&self.entries[(warp * self.cfg.arch_regs + reg) as usize], out);
     }
 
     /// Write the active lanes (set bits of `mask`) of a vector register.
@@ -457,22 +460,27 @@ impl CompressedRegFile {
         }
         let idx = self.idx(warp, reg);
 
+        if full == u64::MAX >> (64 - lanes) {
+            // Full-mask write: the merged vector is `values` itself.
+            return self.install(warp, reg, idx, &values[..lanes]);
+        }
         // Merge with existing contents.
         let mut merged = [0u64; MAX_LANES];
-        let old = self.entries[idx].clone();
-        self.expand_into(&old, &mut merged);
+        self.expand_into(&self.entries[idx], &mut merged);
         for i in 0..lanes {
             if full >> i & 1 == 1 {
                 merged[i] = values[i];
             }
         }
-        let merged = &merged[..lanes];
+        self.install(warp, reg, idx, &merged[..lanes])
+    }
 
-        if let Some(null) = self.cfg.null_value {
-            if merged.iter().any(|&x| x != null) {
-                self.ever_nonnull[warp as usize] |= 1 << reg;
-            }
-        } else if merged.iter().any(|&x| x != 0) {
+    /// Commit a fully-merged vector to the register: run the compressor and
+    /// store the result in the SRF or the VRF (the tail of [`Self::write`]).
+    fn install(&mut self, warp: u32, reg: u32, idx: usize, merged: &[u64]) -> WriteInfo {
+        let lanes = self.cfg.lanes as usize;
+        let null = self.cfg.null_value.unwrap_or(0);
+        if merged.iter().any(|&x| x != null) {
             self.ever_nonnull[warp as usize] |= 1 << reg;
         }
 
@@ -480,7 +488,7 @@ impl CompressedRegFile {
         match self.compress(merged) {
             Some(new_entry) => {
                 // Free any VRF slot the register was occupying.
-                if let Entry::Vector { slot } = old {
+                if let Entry::Vector { slot } = self.entries[idx] {
                     self.free.push(slot);
                     self.resident -= 1;
                 }
@@ -578,21 +586,22 @@ impl CompressedRegFile {
     ) -> WriteInfo {
         let lanes = self.cfg.lanes as usize;
         let full_mask = u64::MAX >> (64 - lanes);
-        // Normalise the compact forms: a one-lane or stride-≡-0 affine is
-        // uniform over the active lanes (with `base` already the lane-0
-        // value by the contract).
-        let norm = match *value {
-            OperandVec::Affine { base, stride } => {
-                let stride = (stride as u32) as i32 as i64;
-                if stride == 0 || lanes == 1 {
-                    Some(OperandVec::Uniform(base))
-                } else {
-                    Some(OperandVec::Affine { base, stride })
-                }
-            }
-            ref v => Some(v.clone()),
-        };
         if mask & full_mask == full_mask {
+            // Normalise the compact forms: a one-lane or stride-≡-0 affine
+            // is uniform over the active lanes (with `base` already the
+            // lane-0 value by the contract).
+            let norm = match *value {
+                OperandVec::Affine { base, stride } => {
+                    let stride = (stride as u32) as i32 as i64;
+                    if stride == 0 || lanes == 1 {
+                        Some(OperandVec::Uniform(base))
+                    } else {
+                        Some(OperandVec::Affine { base, stride })
+                    }
+                }
+                OperandVec::Uniform(v) => Some(OperandVec::Uniform(v)),
+                OperandVec::Vector(_) => None,
+            };
             match norm {
                 Some(OperandVec::Uniform(v)) => {
                     let idx = self.idx(warp, reg);
@@ -623,6 +632,12 @@ impl CompressedRegFile {
                     return WriteInfo { to_srf: true, ..WriteInfo::default() };
                 }
                 _ => {}
+            }
+            // A full-mask `Vector` operand (or an unrepresentable affine)
+            // is the merged result itself: skip the expand-and-merge.
+            if let OperandVec::Vector(ref v) = *value {
+                let idx = self.idx(warp, reg);
+                return self.install(warp, reg, idx, &v[..lanes]);
             }
         }
         let mut buf = [0u64; MAX_LANES];
